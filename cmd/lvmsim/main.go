@@ -1,0 +1,54 @@
+// Command lvmsim runs one workload under one page-table scheme through the
+// full-system timing model and prints the stat block.
+//
+// Usage:
+//
+//	lvmsim -workload gups -scheme lvm -thp=false -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lvm"
+)
+
+func main() {
+	workloadName := flag.String("workload", "gups", "workload: "+strings.Join(lvm.WorkloadNames(), ", "))
+	scheme := flag.String("scheme", "lvm", "scheme: radix, ecpt, lvm, ideal, fpt, asap, midgard")
+	thp := flag.Bool("thp", false, "use transparent huge pages")
+	scale := flag.String("scale", "quick", "workload scale: quick or full")
+	machine := flag.String("machine", "scaled", "machine model: scaled or table1")
+	flag.Parse()
+
+	wp := lvm.QuickWorkloadParams()
+	if *scale == "full" {
+		wp = lvm.DefaultWorkloadParams()
+	}
+	mc := lvm.ScaledMachine()
+	if *machine == "table1" {
+		mc = lvm.DefaultMachine()
+	}
+
+	res, err := lvm.Simulate(*workloadName, lvm.Scheme(*scheme), *thp, wp, mc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("cycles            %14.0f\n", res.Cycles)
+	fmt.Printf("instructions      %14d\n", res.Instructions)
+	fmt.Printf("accesses          %14d\n", res.Accesses)
+	fmt.Printf("walks             %14d\n", res.Walks)
+	fmt.Printf("walk refs         %14d (%.2f per walk)\n", res.WalkRefs, float64(res.WalkRefs)/float64(res.Walks))
+	fmt.Printf("walk cycles       %14.0f (%.1f%% of total)\n", res.WalkCycles, 100*res.WalkCycles/res.Cycles)
+	fmt.Printf("MMU cycles        %14.0f (%.1f%% of total)\n", res.MMUCycles(), 100*res.MMUCycles()/res.Cycles)
+	fmt.Printf("L2 TLB miss rate  %14.1f%%\n", 100*res.L2TLBMiss)
+	fmt.Printf("L1/L2/L3 MPKI     %8.1f / %.1f / %.1f\n", res.L1MPKI, res.L2MPKI, res.L3MPKI)
+	fmt.Printf("DRAM accesses     %14d\n", res.DRAMAccesses)
+	if res.Faults > 0 {
+		fmt.Printf("TRANSLATION FAULTS %13d\n", res.Faults)
+	}
+}

@@ -1,0 +1,3 @@
+module lvm
+
+go 1.24

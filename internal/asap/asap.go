@@ -1,0 +1,174 @@
+// Package asap implements ASAP-style prefetched address translation
+// (Margaritov et al., MICRO'19), the §7.5.1 comparison. ASAP keeps leaf
+// page tables in contiguous physical memory per VMA so the PTE's location
+// is directly computable; on a TLB miss it prefetches that location (and
+// the PMD's) in parallel with the normal radix walk, which validates the
+// prefetch.
+//
+// The effect the paper measures: latency approaches a single access when
+// prefetching works, but every walk still issues the radix requests PLUS
+// the prefetches — more traffic and more cache pollution than either ECPT
+// or LVM.
+package asap
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/mmu"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+	"lvm/internal/radix"
+	"lvm/internal/stats"
+)
+
+// vma is one registered virtual memory area with its contiguous leaf-table
+// region.
+type vma struct {
+	lo, hi addr.VPN
+	// ptBase is the contiguous flat PTE region (8 B per page), when the
+	// allocation succeeded.
+	prefetchable bool
+	ptBase       addr.PPN
+	pmdBase      addr.PPN
+}
+
+// Table is one process's ASAP state: a plain radix table (the validator)
+// plus per-VMA contiguous leaf-table regions.
+type Table struct {
+	mem   *phys.Memory
+	Radix *radix.Table
+	vmas  []vma
+
+	allocFailures stats.Counter
+}
+
+// New wraps a fresh radix table.
+func New(mem *phys.Memory) (*Table, error) {
+	rt, err := radix.New(mem)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{mem: mem, Radix: rt}, nil
+}
+
+// AddVMA registers an area and attempts the contiguous leaf-table
+// allocation ASAP requires (potentially hundreds of MB for big VMAs —
+// the availability problem §7.5.1 highlights).
+func (t *Table) AddVMA(lo, hi addr.VPN) error {
+	pages := uint64(hi-lo) + 1
+	ptOrder := phys.OrderForBytes(pages * pte.Bytes)
+	pmdOrder := phys.OrderForBytes(pages/512*pte.Bytes + pte.Bytes)
+	v := vma{lo: lo, hi: hi}
+	if ptBase, err := t.mem.Alloc(ptOrder); err == nil {
+		if pmdBase, err := t.mem.Alloc(pmdOrder); err == nil {
+			v.prefetchable = true
+			v.ptBase = ptBase
+			v.pmdBase = pmdBase
+		} else {
+			t.mem.Free(ptBase, ptOrder)
+			t.allocFailures.Inc()
+		}
+	} else {
+		t.allocFailures.Inc()
+	}
+	t.vmas = append(t.vmas, v)
+	if !v.prefetchable {
+		return fmt.Errorf("asap: VMA [%#x,%#x] not prefetchable (no contiguity)", uint64(lo), uint64(hi))
+	}
+	return nil
+}
+
+// Map installs a translation in the validating radix table.
+func (t *Table) Map(v addr.VPN, e pte.Entry) error { return t.Radix.Map(v, e) }
+
+// Unmap removes a translation.
+func (t *Table) Unmap(v addr.VPN) bool { return t.Radix.Unmap(v) }
+
+// Lookup is the software walk.
+func (t *Table) Lookup(v addr.VPN) (pte.Entry, bool) { return t.Radix.Lookup(v) }
+
+// AllocFailures counts VMAs whose contiguous tables could not be placed.
+func (t *Table) AllocFailures() uint64 { return t.allocFailures.Value() }
+
+func (t *Table) vmaFor(v addr.VPN) *vma {
+	for i := range t.vmas {
+		if v >= t.vmas[i].lo && v <= t.vmas[i].hi {
+			return &t.vmas[i]
+		}
+	}
+	return nil
+}
+
+// Release frees the per-VMA contiguous arrays and the underlying radix
+// table (process exit).
+func (t *Table) Release() {
+	for _, v := range t.vmas {
+		if !v.prefetchable {
+			continue
+		}
+		pages := uint64(v.hi-v.lo) + 1
+		t.mem.Free(v.ptBase, phys.OrderForBytes(pages*pte.Bytes))
+		t.mem.Free(v.pmdBase, phys.OrderForBytes(pages/512*pte.Bytes+pte.Bytes))
+	}
+	t.vmas = nil
+	t.Radix.Release()
+}
+
+// Walker is the ASAP hardware walker: a radix walker plus the prefetcher.
+type Walker struct {
+	tables map[uint16]*Table
+	rad    *radix.Walker
+}
+
+// NewWalker creates the walker (radix PWC sizing from Table 1).
+func NewWalker() *Walker {
+	return &Walker{tables: make(map[uint16]*Table), rad: radix.NewWalker(32)}
+}
+
+// Attach registers a table under an ASID.
+func (w *Walker) Attach(asid uint16, t *Table) {
+	w.tables[asid] = t
+	w.rad.Attach(asid, t.Radix)
+}
+
+// Detach removes a process's table (and its radix walker state).
+func (w *Walker) Detach(asid uint16) {
+	delete(w.tables, asid)
+	w.rad.Detach(asid)
+}
+
+// Name implements mmu.Walker.
+func (w *Walker) Name() string { return "asap" }
+
+// Walk implements mmu.Walker. For prefetchable VMAs all requests — the
+// radix walk AND the flat PTE/PMD prefetches — are issued in one parallel
+// group: latency collapses to the slowest single request, but the traffic
+// is the radix walk plus two.
+func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	t, ok := w.tables[asid]
+	if !ok {
+		return mmu.Outcome{}
+	}
+	base := w.rad.Walk(asid, v)
+	vm := t.vmaFor(v)
+	if vm == nil || !vm.prefetchable {
+		return base // plain radix behaviour
+	}
+	flat := []addr.PA{
+		addr.PA(uint64(vm.ptBase)<<addr.PageShift) + addr.PA(uint64(v-vm.lo)*pte.Bytes),
+		addr.PA(uint64(vm.pmdBase)<<addr.PageShift) + addr.PA(uint64(v-vm.lo)/512*pte.Bytes),
+	}
+	all := flat
+	for _, g := range base.Groups {
+		all = append(all, g...)
+	}
+	return mmu.Outcome{
+		Entry:           base.Entry,
+		Found:           base.Found,
+		Groups:          [][]addr.PA{all},
+		WalkCacheCycles: base.WalkCacheCycles,
+	}
+}
+
+var _ mmu.Walker = (*Walker)(nil)

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDebugDumpSegmented prints the tree shape for the segmented space;
+// run with -v when diagnosing build quality.
+func TestDebugDumpSegmented(t *testing.T) {
+	ms := segmented()
+	ix := build(t, ms)
+	t.Logf("depth=%d nodes=%d size=%dB leaves=%d", ix.Depth(), ix.NodeCount(), ix.SizeBytes(), ix.LeafCount())
+	for d, level := range ix.levels {
+		for _, n := range level {
+			kind := "int "
+			extra := ""
+			if n.isLeaf() {
+				kind = "leaf"
+				if n.table != nil {
+					extra = fmt.Sprintf(" slots=%d used=%d maxDisp=%d", n.table.Slots(), n.table.Used(), n.maxDisp)
+				} else {
+					extra = " empty"
+				}
+			} else {
+				extra = fmt.Sprintf(" children=%d", len(n.children))
+			}
+			t.Logf("L%d[%d] %s range=[%#x,%#x] slope=%v%s", d+1, n.offset, kind, n.loKey, n.hiKey, n.slope.Float(), extra)
+		}
+	}
+	collisions := 0
+	for _, m := range ms {
+		if r := ix.Walk(m.VPN); r.Collided {
+			collisions++
+		}
+	}
+	t.Logf("collision rate = %.4f", float64(collisions)/float64(len(ms)))
+}

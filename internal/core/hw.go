@@ -1,0 +1,132 @@
+package core
+
+import (
+	"lvm/internal/addr"
+	"lvm/internal/mmu"
+)
+
+// HWWalker is LVM's hardware page table walker (paper §4.6.2, Fig. 7): on
+// an L2 TLB miss it traverses the learned index, consulting the LVM Walk
+// Cache for each node and fetching missing nodes from memory, then fetches
+// the predicted PTE cluster. Each node step costs one fixed-point
+// multiply-add (2 cycles, §7.4).
+type HWWalker struct {
+	lwc     *mmu.LWC
+	indexes map[uint16]attachment
+	// flushes counts LWC invalidations driven by OS retrains (§5.2).
+	flushes uint64
+	// lastRetrains tracks per-ASID retrain counts already reconciled.
+	lastRetrains map[uint16]uint64
+	lastRebuilds map[uint16]uint64
+	lastLazy     map[uint16]uint64
+}
+
+type attachment struct {
+	ix *Index
+	// norm applies the ASLR base registers (§5.2): raw VPN → the canonical
+	// VPN the index was trained on. Nil means identity.
+	norm func(addr.VPN) addr.VPN
+}
+
+// NewHWWalker creates a walker with the Table-1 LWC size (16 entries).
+func NewHWWalker(lwcEntries int) *HWWalker {
+	return &HWWalker{
+		lwc:          mmu.NewLWC(lwcEntries),
+		indexes:      make(map[uint16]attachment),
+		lastRetrains: make(map[uint16]uint64),
+		lastRebuilds: make(map[uint16]uint64),
+		lastLazy:     make(map[uint16]uint64),
+	}
+}
+
+// Attach registers a process's learned index under an ASID.
+func (w *HWWalker) Attach(asid uint16, ix *Index) {
+	w.indexes[asid] = attachment{ix: ix}
+}
+
+// AttachNormalized registers an index together with the ASLR normalization
+// the OS exposed through base registers (§5.2).
+func (w *HWWalker) AttachNormalized(asid uint16, ix *Index, norm func(addr.VPN) addr.VPN) {
+	w.indexes[asid] = attachment{ix: ix, norm: norm}
+}
+
+// Detach removes a process's index and flushes its LWC entries (process
+// exit; §4.6.2's ASID tagging makes this the only flush needed).
+func (w *HWWalker) Detach(asid uint16) {
+	delete(w.indexes, asid)
+	delete(w.lastRetrains, asid)
+	delete(w.lastRebuilds, asid)
+	delete(w.lastLazy, asid)
+	w.lwc.FlushASID(asid)
+	w.flushes++
+}
+
+// Name implements mmu.Walker.
+func (w *HWWalker) Name() string { return "lvm" }
+
+// LWC exposes the walk cache for stats.
+func (w *HWWalker) LWC() *mmu.LWC { return w.lwc }
+
+// Flushes returns the number of LWC flush events the OS has issued.
+func (w *HWWalker) Flushes() uint64 { return w.flushes }
+
+// Walk implements mmu.Walker.
+func (w *HWWalker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	at, ok := w.indexes[asid]
+	if !ok {
+		return mmu.Outcome{}
+	}
+	ix := at.ix
+	w.reconcile(asid, ix)
+	if at.norm != nil {
+		v = at.norm(v)
+	}
+	r := ix.Walk(v)
+	out := mmu.Outcome{Entry: r.Entry, Found: r.Found}
+	for _, n := range r.Nodes {
+		out.WalkCacheCycles += mmu.StepCycles
+		if !w.lwc.Lookup(asid, n.Level, n.Offset) {
+			// Fetch the 64-byte line holding the node from memory.
+			out.Groups = append(out.Groups, []addr.PA{n.PA})
+			w.lwc.Insert(asid, n.Level, n.Offset)
+		}
+	}
+	for _, pa := range r.PTEPAs {
+		out.Groups = append(out.Groups, []addr.PA{pa})
+	}
+	return out
+}
+
+// reconcile applies OS-side retrain/rebuild events to the LWC: a retrain
+// flushes the affected node, a rebuild flushes the address space (§5.2).
+// The walker polls the index's counters, which models the OS issuing the
+// flush at the moment it retrains.
+func (w *HWWalker) reconcile(asid uint16, ix *Index) {
+	s := ix.Stats()
+	if s.Rebuilds > w.lastRebuilds[asid] {
+		w.lwc.FlushASID(asid)
+		w.flushes += s.Rebuilds - w.lastRebuilds[asid]
+		w.lastRebuilds[asid] = s.Rebuilds
+		// A rebuild subsumes outstanding retrain flushes.
+		w.lastRetrains[asid] = s.Retrains
+		return
+	}
+	if s.Retrains > w.lastRetrains[asid] {
+		// The OS flushes only the retrained node; we conservatively flush
+		// the ASID's leaf entries by dropping the whole ASID — with a
+		// 16-entry LWC the cost is indistinguishable, and retrains are
+		// rare (≤3 per run, §7.3).
+		w.lwc.FlushASID(asid)
+		w.flushes += s.Retrains - w.lastRetrains[asid]
+		w.lastRetrains[asid] = s.Retrains
+	}
+	if s.LazyTrains > w.lastLazy[asid] {
+		// A previously empty leaf got its first model: its cached
+		// empty-model LWC entry is stale.
+		w.lwc.FlushASID(asid)
+		w.flushes += s.LazyTrains - w.lastLazy[asid]
+		w.lastLazy[asid] = s.LazyTrains
+	}
+}
+
+var _ mmu.Walker = (*HWWalker)(nil)

@@ -1,0 +1,110 @@
+// Package core implements Learned Virtual Memory's learned index: a shallow
+// hierarchy of Q44.20 linear models that maps virtual page numbers to the
+// physical locations of page table entries held in gapped page tables
+// (paper §4).
+//
+// The index is built and maintained by the OS side (floating-point training,
+// insertions, retraining) and traversed by the hardware side (fixed-point
+// multiply-add per node, bounded search in the PTE table). Walk results
+// carry the full memory-access trace — node fetches and PTE cluster fetches
+// — so the simulator can charge the exact cache/DRAM costs.
+package core
+
+import "lvm/internal/pte"
+
+// Params are LVM's tunable parameters. Defaults follow paper §5.1.
+type Params struct {
+	// X1, X2, X3 are the cost-model weights of C(n) = x1·d + x2·s + x3·cr·ma
+	// (paper Eq. 1): depth, size, and collision-resolution cost.
+	X1, X2, X3 float64
+	// DLimit is the hard bound on index depth: at most DLimit node
+	// traversals before the PTE fetch (3 in the paper, so a walk touches
+	// at most 4 memory locations).
+	DLimit int
+	// GAScale is the gapped-array scale factor: tables are sized to
+	// GAScale × keys, leaving gaps for future inserts (1.3 in the paper).
+	GAScale float64
+	// MinInsertDistance is the minimum address-space extension, in base
+	// pages, applied on an out-of-bounds insert near the edge (64 MB in
+	// the paper = 16384 pages). Extensions are batched to this granule.
+	MinInsertDistance uint64
+	// EdgeWindow is how far (in base pages) beyond the current key range
+	// an insert still counts as "close to the edge"; farther inserts
+	// trigger a full rebuild (paper §4.3.4).
+	EdgeWindow uint64
+	// CErr is the upper bound on additional memory accesses during
+	// collision resolution (3 in the paper §4.3.3).
+	CErr int
+	// ErrSlotBudget is the largest tolerated displacement, in slots,
+	// between a key's predicted and placed position at build time.
+	ErrSlotBudget int
+	// ResidualSlotBudget is the largest tolerated |model residual| in
+	// table slots after GAScale scaling (the error bound enforced during
+	// regression, §4.3.3). Placed keys are always found at their own
+	// predictions (displacement is bounded separately by ErrSlotBudget),
+	// so the residual budget only limits how far interior-of-huge-page and
+	// hole predictions can stray; those are resolved by the aligned-base
+	// probe and land in empty inter-run slots respectively, which lets the
+	// budget stay loose without hurting lookups.
+	ResidualSlotBudget int
+	// InsertReach is how far (in slots) an insertion may displace an
+	// entry from its predicted slot before the leaf is retrained.
+	InsertReach int
+	// MaxFanout caps the number of children of a single node.
+	MaxFanout int
+	// CoverageFloor is the minimum address-space coverage, in bytes of
+	// virtual address space per byte of index, a child node must provide;
+	// nodes that would fall below it are not subdivided (the cacheability
+	// constraint of §4.2.3).
+	CoverageFloor uint64
+	// X3BoostFactor multiplies X3 when a leaf cannot meet the error
+	// bound and its parent's cost model is re-evaluated (§4.3.3).
+	X3BoostFactor float64
+}
+
+// DefaultParams returns the paper's §5.1 configuration.
+func DefaultParams() Params {
+	return Params{
+		X1:                 10,
+		X2:                 5,
+		X3:                 200,
+		DLimit:             3,
+		GAScale:            1.3,
+		MinInsertDistance:  (64 << 20) >> 12, // 64 MB of pages
+		EdgeWindow:         8 * ((64 << 20) >> 12),
+		CErr:               3,
+		ErrSlotBudget:      8,
+		ResidualSlotBudget: 2048,
+		InsertReach:        8,
+		MaxFanout:          4096,
+		CoverageFloor:      256 << 10,
+		X3BoostFactor:      4,
+	}
+}
+
+// NodeBytes is the physical size of one index node: a Q44.20 slope and
+// intercept (paper §4.5).
+const NodeBytes = 16
+
+// ClusterSlots re-exports the PTE cluster geometry for convenience.
+const ClusterSlots = pte.ClusterSlots
+
+func (p Params) validate() error {
+	switch {
+	case p.DLimit < 1:
+		return errBadParam("DLimit must be >= 1")
+	case p.GAScale < 1:
+		return errBadParam("GAScale must be >= 1")
+	case p.CErr < 0:
+		return errBadParam("CErr must be >= 0")
+	case p.MaxFanout < 2:
+		return errBadParam("MaxFanout must be >= 2")
+	case p.X3BoostFactor <= 1:
+		return errBadParam("X3BoostFactor must be > 1")
+	}
+	return nil
+}
+
+type errBadParam string
+
+func (e errBadParam) Error() string { return "core: " + string(e) }

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+// TestPositionalLeafExactPredictions pins down the positional-leaf
+// strategy (the alternative leaf model makeLeaf's comment discusses): a
+// model of slot = ga_scale·(VPN−lo) predicts every key exactly — zero
+// displacement, single-access lookups — even for a pathological mix of
+// 4 KB and 2 MB densities that a regression-trained leaf cannot fit
+// within the error budget.
+func TestPositionalLeafExactPredictions(t *testing.T) {
+	mem := phys.New(64 << 20)
+	ix := &Index{mem: mem, params: DefaultParams()}
+	b := &builder{ix: ix, p: ix.params}
+
+	// Alternating density: a 2 MB run (one key per 512 pages) then a dense
+	// 4 KB run, repeated — the mixed-density boundary case.
+	var ms []Mapping
+	v := addr.VPN(1 << 20)
+	for blk := 0; blk < 8; blk++ {
+		ms = append(ms, Mapping{VPN: v, Entry: pte.New(addr.PPN(blk*1000+1), addr.Page2M)})
+		v += 512
+		for i := 0; i < 64; i++ {
+			ms = append(ms, Mapping{VPN: v, Entry: pte.New(addr.PPN(blk*1000+2+i), addr.Page4K)})
+			v++
+		}
+		v += addr.VPN(512 - 64)
+	}
+	lo, hi := uint64(ms[0].VPN), uint64(ms[len(ms)-1].VPN)
+
+	nd, err := b.makePositionalLeaf(ms, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.table.Release()
+	if nd.maxDisp != 0 {
+		t.Errorf("positional leaf displaced a key by %d slots, want exact", nd.maxDisp)
+	}
+	for _, m := range ms {
+		res := nd.table.Lookup(int(nd.predict(m.VPN)), m.VPN, 0)
+		if res.Entry != m.Entry {
+			t.Fatalf("VPN %#x: lookup returned %v want %v", uint64(m.VPN), res.Entry, m.Entry)
+		}
+		if res.Accesses != 1 {
+			t.Fatalf("VPN %#x: %d cluster accesses, positional must need 1", uint64(m.VPN), res.Accesses)
+		}
+	}
+
+	// The price: table slack proportional to the span, not the key count.
+	span := hi - lo + 1
+	minSlots := int(float64(span) * b.p.GAScale)
+	if nd.table.Slots() < minSlots {
+		t.Errorf("positional table has %d slots, expected ≥ ga_scale·span = %d",
+			nd.table.Slots(), minSlots)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+func TestReproQuickInsert(t *testing.T) {
+	raw := []byte{0x2e, 0x65, 0xd9, 0x14, 0x9, 0xf5, 0x23, 0x39, 0x1e, 0x20, 0xcd, 0xaa, 0xa8, 0x22, 0x18, 0x41, 0x0, 0x9f, 0x97, 0x10, 0xa, 0x8c, 0xc9, 0x75, 0x31}
+	extra := []uint16{0xafc6, 0xf1ea, 0x588b, 0xaaf5, 0x246e, 0x2ead, 0x965c, 0x5e1, 0xe33b, 0x263b, 0x298a, 0x6f58, 0xc57a, 0x5a60, 0xa7f, 0x57b9, 0x65bd, 0x12d0, 0x1510, 0x323b, 0xbc1c, 0xd724, 0xd201, 0x995f, 0x270, 0xda6e, 0x4fbf, 0xd8e7, 0xe550, 0x5eb3, 0x4830, 0x5f5e, 0x3aa5, 0xe811, 0x636f, 0x597c, 0x2f16, 0xd32f, 0xab9f, 0xfd81, 0x7b10, 0x9d4, 0x2673, 0xd2ae, 0x6272, 0xc832}
+	ms := genLayout(raw)
+	mem := phys.New(64 << 20)
+	ix, err := Build(mem, ms, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.KeyRange()
+	span := uint64(hi - lo)
+	inserted := map[addr.VPN]pte.Entry{}
+	for i, e := range extra {
+		v := lo + addr.VPN(uint64(e)%span)
+		ent := pte.New(addr.PPN(0x100000+i), addr.Page4K)
+		if err := ix.Insert(Mapping{VPN: v, Entry: ent}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		inserted[v] = ent
+		// verify incrementally
+		for vv, ee := range inserted {
+			r := ix.Walk(vv)
+			if !r.Found || r.Entry != ee {
+				fmt.Printf("after insert %d (v=%#x): lost vv=%#x found=%t stats=%+v\n", i, uint64(v), uint64(vv), r.Found, ix.Stats())
+				leaf := ix.leafFor(vv)
+				fmt.Printf("  leaf [%#x,%#x] slope=%.6f slots=%d used=%d pred=%d\n", leaf.loKey, leaf.hiKey, leaf.slope.Float(), leaf.table.Slots(), leaf.table.Used(), leaf.predict(vv))
+				t.FailNow()
+			}
+		}
+	}
+}

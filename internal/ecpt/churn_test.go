@@ -1,0 +1,104 @@
+package ecpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+// TestChurnOracleWithResizes interleaves inserts and unmaps across multiple
+// elastic resizes and checks the table against a ground-truth map. Unmaps
+// during growth are the risky path: a key displaced mid-kick-chain or moved
+// during a resize must remain removable and must never resurrect.
+func TestChurnOracleWithResizes(t *testing.T) {
+	tb, err := New(phys.New(256<<20), 64) // tiny: many resizes
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	oracle := map[addr.VPN]pte.Entry{}
+	for op := 0; op < 20000; op++ {
+		v := addr.VPN(rng.Intn(1 << 14))
+		if e, ok := oracle[v]; ok && rng.Intn(3) == 0 {
+			if !tb.Unmap(v) {
+				t.Fatalf("op %d: unmap of mapped %d failed", op, v)
+			}
+			delete(oracle, v)
+			_ = e
+		} else {
+			e := pte.New(addr.PPN(op+1), addr.Page4K)
+			if err := tb.Map(v, e); err != nil {
+				t.Fatalf("op %d: map %d: %v", op, v, err)
+			}
+			oracle[v] = e
+		}
+	}
+	for v := addr.VPN(0); v < 1<<14; v++ {
+		got, ok := tb.Lookup(v)
+		want, mapped := oracle[v]
+		if ok != mapped {
+			t.Fatalf("VPN %d: lookup=%t oracle=%t", v, ok, mapped)
+		}
+		if mapped && got != want {
+			t.Fatalf("VPN %d: entry %v want %v", v, got, want)
+		}
+	}
+}
+
+// TestResizeUnderHighLoad grows a minimal table far past several doublings
+// and verifies capacity scales with the key count and the load factor stays
+// under the elastic bound.
+func TestResizeUnderHighLoad(t *testing.T) {
+	tb, err := New(phys.New(256<<20), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if err := tb.Map(addr.VPN(i*3), pte.New(addr.PPN(i+1), addr.Page4K)); err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+	}
+	c4 := tb.tables[addr.Page4K]
+	if lf := c4.loadFactor(); lf > MaxLoadFactor {
+		t.Errorf("load factor %.3f exceeds elastic bound %.2f", lf, MaxLoadFactor)
+	}
+	if cap := c4.capacity(); cap < n {
+		t.Errorf("capacity %d below key count %d", cap, n)
+	}
+	for i := 0; i < n; i += 97 {
+		if _, ok := tb.Lookup(addr.VPN(i * 3)); !ok {
+			t.Fatalf("key %d lost across resizes", i*3)
+		}
+	}
+}
+
+// TestMixedSizeChurn maps both 4K and 2M pages (separate cuckoo tables),
+// then unmaps the 2M run and verifies its interior VPNs miss while
+// neighbouring 4K pages survive.
+func TestMixedSizeChurn(t *testing.T) {
+	tb, err := New(phys.New(128<<20), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := addr.VPN(512 * 10)
+	if err := tb.Map(huge, pte.New(512, addr.Page2M)); err != nil {
+		t.Fatal(err)
+	}
+	small := huge + 512 // first VPN after the huge run
+	if err := tb.Map(small, pte.New(7, addr.Page4K)); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Unmap(huge) {
+		t.Fatal("huge unmap failed")
+	}
+	if _, ok := tb.Lookup(huge + 300); ok {
+		t.Error("interior of unmapped 2M page still resolves")
+	}
+	if _, ok := tb.Lookup(small); !ok {
+		t.Error("adjacent 4K page lost when 2M page unmapped")
+	}
+}

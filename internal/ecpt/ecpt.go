@@ -1,0 +1,427 @@
+// Package ecpt implements Elastic Cuckoo Page Tables (Skarlatos et al.,
+// ASPLOS'20), the state-of-the-art hashed page table the paper compares
+// against (§2.2, §6.3).
+//
+// Each page size has its own d-ary (3-way) cuckoo hash table. A hardware
+// walk probes all d ways of the relevant table in parallel — a single
+// sequential step, but d memory requests, which is exactly the
+// latency-for-bandwidth trade the paper measures in Figures 11/12. Cuckoo
+// Walk Tables (CWTs) record which page sizes are mapped in each region, and
+// the Cuckoo Walk Cache (CWC) caches CWT entries so most walks probe only
+// one table's ways.
+package ecpt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lvm/internal/addr"
+	"lvm/internal/blake2b"
+	"lvm/internal/mmu"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+	"lvm/internal/stats"
+)
+
+// Ways is the cuckoo associativity (Table 1: 3 ways).
+const Ways = 3
+
+// MaxKicks bounds displacement chains before a resize.
+const MaxKicks = 32
+
+// DefaultInitialEntries is the initial per-way table size (Table 1: 16384
+// entries split across ways).
+const DefaultInitialEntries = 16384
+
+// MaxLoadFactor triggers a resize when exceeded (the "elastic" part).
+const MaxLoadFactor = 0.85
+
+// way is one hash table of one cuckoo structure, physically contiguous.
+type way struct {
+	seed  uint64
+	base  addr.PPN
+	order int
+	slots []pte.Tagged
+}
+
+func (w *way) index(v addr.VPN) int {
+	return int(blake2b.Sum64(uint64(v)^w.seed) % uint64(len(w.slots)))
+}
+
+func (w *way) slotPA(i int) addr.PA {
+	return addr.PA(uint64(w.base)<<addr.PageShift) + addr.PA(i*pte.TaggedBytes)
+}
+
+// cuckoo is a d-ary cuckoo hash table for one page size.
+type cuckoo struct {
+	mem  *phys.Memory
+	size addr.PageSize
+	ways [Ways]*way
+	used int
+	rng  *rand.Rand
+
+	rehashes stats.Counter
+}
+
+func newCuckoo(mem *phys.Memory, size addr.PageSize, perWay int) (*cuckoo, error) {
+	c := &cuckoo{mem: mem, size: size, rng: rand.New(rand.NewSource(int64(size) + 12345))}
+	for i := range c.ways {
+		w, err := allocWay(mem, perWay, uint64(i)*0x9e3779b97f4a7c15+uint64(size))
+		if err != nil {
+			return nil, err
+		}
+		c.ways[i] = w
+	}
+	return c, nil
+}
+
+func allocWay(mem *phys.Memory, slots int, seed uint64) (*way, error) {
+	order := phys.OrderForBytes(uint64(slots) * pte.TaggedBytes)
+	base, err := mem.Alloc(order)
+	if err != nil {
+		return nil, fmt.Errorf("ecpt: allocating way: %w", err)
+	}
+	n := int(phys.BlockBytes(order) / pte.TaggedBytes)
+	return &way{seed: seed, base: base, order: order, slots: make([]pte.Tagged, n)}, nil
+}
+
+func (c *cuckoo) capacity() int {
+	n := 0
+	for _, w := range c.ways {
+		n += len(w.slots)
+	}
+	return n
+}
+
+func (c *cuckoo) loadFactor() float64 {
+	return float64(c.used) / float64(c.capacity())
+}
+
+// insert places a tagged entry, displacing existing entries cuckoo-style;
+// resizes and rehashes when a chain exceeds MaxKicks or the load factor is
+// too high.
+func (c *cuckoo) insert(tag addr.VPN, e pte.Entry) error {
+	if c.loadFactor() > MaxLoadFactor {
+		if err := c.resize(); err != nil {
+			return err
+		}
+	}
+	item := pte.Tagged{Tag: tag, Entry: e}
+	// Overwrite if present.
+	for _, w := range c.ways {
+		i := w.index(tag)
+		if w.slots[i].Valid() && w.slots[i].Tag == tag {
+			w.slots[i] = item
+			return nil
+		}
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		homeless, ok := c.tryPlace(item)
+		if ok {
+			c.used++
+			return nil
+		}
+		// The displacement chain ran out of kicks: some victim is now
+		// homeless (the original item itself landed in the table). Resize,
+		// which rehashes everything placed, then re-insert the victim.
+		if err := c.resize(); err != nil {
+			return err
+		}
+		item = homeless
+	}
+	return fmt.Errorf("ecpt: insert failed after resize")
+}
+
+// tryPlace attempts cuckoo placement. On failure it returns the item left
+// homeless at the end of the displacement chain (which is generally NOT the
+// item passed in — earlier links of the chain have been placed).
+func (c *cuckoo) tryPlace(item pte.Tagged) (pte.Tagged, bool) {
+	for kick := 0; kick < MaxKicks; kick++ {
+		for _, w := range c.ways {
+			i := w.index(item.Tag)
+			if !w.slots[i].Valid() {
+				w.slots[i] = item
+				return pte.Tagged{}, true
+			}
+		}
+		// All ways occupied: evict from a random way and retry with the
+		// displaced item.
+		w := c.ways[c.rng.Intn(Ways)]
+		i := w.index(item.Tag)
+		item, w.slots[i] = w.slots[i], item
+	}
+	return item, false
+}
+
+// resize doubles every way and rehashes — the elastic growth operation.
+func (c *cuckoo) resize() error {
+	c.rehashes.Inc()
+	old := c.ways
+	for i := range c.ways {
+		w, err := allocWay(c.mem, len(old[i].slots)*2, old[i].seed)
+		if err != nil {
+			return err
+		}
+		c.ways[i] = w
+	}
+	c.used = 0
+	for _, ow := range old {
+		for _, s := range ow.slots {
+			if s.Valid() {
+				if _, ok := c.tryPlace(s); !ok {
+					return fmt.Errorf("ecpt: rehash failed")
+				}
+				c.used++
+			}
+		}
+		c.mem.Free(ow.base, ow.order)
+	}
+	return nil
+}
+
+// lookup returns the entry and which way holds it.
+func (c *cuckoo) lookup(v addr.VPN) (pte.Entry, bool) {
+	tag := addr.AlignDown(v, c.size)
+	for _, w := range c.ways {
+		i := w.index(tag)
+		if w.slots[i].Matches(v) {
+			return w.slots[i].Entry, true
+		}
+	}
+	return 0, false
+}
+
+// remove clears a translation.
+func (c *cuckoo) remove(v addr.VPN) bool {
+	tag := addr.AlignDown(v, c.size)
+	for _, w := range c.ways {
+		i := w.index(tag)
+		if w.slots[i].Valid() && w.slots[i].Tag == tag {
+			w.slots[i] = pte.Tagged{}
+			c.used--
+			return true
+		}
+	}
+	return false
+}
+
+// probePAs returns the d physical addresses a hardware walk fetches.
+func (c *cuckoo) probePAs(v addr.VPN) []addr.PA {
+	tag := addr.AlignDown(v, c.size)
+	pas := make([]addr.PA, 0, Ways)
+	for _, w := range c.ways {
+		pas = append(pas, w.slotPA(w.index(tag)))
+	}
+	return pas
+}
+
+// Table is one process's ECPT: one cuckoo structure per page size plus the
+// CWTs describing which sizes are present per region.
+type Table struct {
+	mem    *phys.Memory
+	tables map[addr.PageSize]*cuckoo
+	// cwt maps a 2MB-region number (VPN>>9) to the set of page sizes
+	// present in that region; it is itself stored in memory at cwtBase.
+	cwt     map[uint64]uint8
+	cwtBase addr.PPN
+	cwtOrdr int
+}
+
+// New creates an empty ECPT.
+func New(mem *phys.Memory, initialPerWay int) (*Table, error) {
+	if initialPerWay <= 0 {
+		initialPerWay = DefaultInitialEntries / Ways
+	}
+	t := &Table{mem: mem, tables: make(map[addr.PageSize]*cuckoo), cwt: make(map[uint64]uint8)}
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+		c, err := newCuckoo(mem, s, initialPerWay)
+		if err != nil {
+			return nil, err
+		}
+		t.tables[s] = c
+	}
+	base, err := mem.Alloc(2) // 16 KB of CWT backing to give walks real PAs
+	if err != nil {
+		return nil, err
+	}
+	t.cwtBase = base
+	t.cwtOrdr = 2
+	return t, nil
+}
+
+func (t *Table) region(v addr.VPN) uint64 { return uint64(v) >> 9 }
+
+// cwtPA returns the memory location of a region's CWT entry (one byte per
+// region, packed).
+func (t *Table) cwtPA(region uint64) addr.PA {
+	span := phys.BlockBytes(t.cwtOrdr)
+	return addr.PA(uint64(t.cwtBase)<<addr.PageShift) + addr.PA(region%span)
+}
+
+// Map installs a translation.
+func (t *Table) Map(v addr.VPN, e pte.Entry) error {
+	c := t.tables[e.Size()]
+	if c == nil {
+		return fmt.Errorf("ecpt: unsupported page size %s", e.Size())
+	}
+	tag := addr.AlignDown(v, e.Size())
+	if err := c.insert(tag, e); err != nil {
+		return err
+	}
+	// Update CWT bits for every region the mapping touches.
+	regions := uint64(1)
+	if e.Size() == addr.Page2M {
+		regions = 1
+	}
+	base := t.region(tag)
+	for r := uint64(0); r < regions; r++ {
+		t.cwt[base+r] |= 1 << uint(e.Size())
+	}
+	return nil
+}
+
+// Unmap removes a translation from whichever size table holds it.
+func (t *Table) Unmap(v addr.VPN) bool {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+		if t.tables[s].remove(addr.AlignDown(v, s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup is the software walk.
+func (t *Table) Lookup(v addr.VPN) (pte.Entry, bool) {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+		if e, ok := t.tables[s].lookup(v); ok {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// TableBytes returns the physical footprint of all ways of all sizes — the
+// over-provisioned hash-table space of §7.3's memory comparison.
+func (t *Table) TableBytes() uint64 {
+	var b uint64
+	for _, c := range t.tables {
+		for _, w := range c.ways {
+			b += phys.BlockBytes(w.order)
+		}
+	}
+	return b
+}
+
+// Rehashes returns the number of elastic resizes performed.
+func (t *Table) Rehashes() uint64 {
+	var n uint64
+	for _, c := range t.tables {
+		n += c.rehashes.Value()
+	}
+	return n
+}
+
+// release frees the ways of one cuckoo table.
+func (c *cuckoo) release() {
+	for _, w := range c.ways {
+		c.mem.Free(w.base, w.order)
+	}
+	c.used = 0
+}
+
+// Release returns all cuckoo ways and the CWT block to the allocator; the
+// table is unusable afterwards (process exit).
+func (t *Table) Release() {
+	for _, c := range t.tables {
+		c.release()
+	}
+	t.tables = map[addr.PageSize]*cuckoo{}
+	t.mem.Free(t.cwtBase, t.cwtOrdr)
+	t.cwt = map[uint64]uint8{}
+}
+
+// Walker is the hardware ECPT walker with a CWC.
+type Walker struct {
+	tables map[uint16]*Table
+	// cwcPMD caches CWT entries at 2MB-region granularity; cwcPUD at
+	// 1GB-region granularity (Table 1: 16 and 2 entries).
+	cwcPMD, cwcPUD *mmu.PWC
+}
+
+// NewWalker creates the walker with Table-1 CWC sizing.
+func NewWalker() *Walker {
+	return &Walker{
+		tables: make(map[uint16]*Table),
+		cwcPMD: mmu.NewPWC("cwc-pmd", 16),
+		cwcPUD: mmu.NewPWC("cwc-pud", 2),
+	}
+}
+
+// Attach registers a process's ECPT under an ASID.
+func (w *Walker) Attach(asid uint16, t *Table) { w.tables[asid] = t }
+
+// Detach removes a process's table and flushes its CWC entries (process
+// exit).
+func (w *Walker) Detach(asid uint16) {
+	delete(w.tables, asid)
+	w.cwcPMD.FlushASID(asid)
+	w.cwcPUD.FlushASID(asid)
+}
+
+// Name implements mmu.Walker.
+func (w *Walker) Name() string { return "ecpt" }
+
+// CWCs returns the walk-cache levels for stats.
+func (w *Walker) CWCs() (pmd, pud *mmu.PWC) { return w.cwcPMD, w.cwcPUD }
+
+// Walk implements mmu.Walker. With CWC section information the walker
+// probes the d ways of the right page-size table in parallel; on a CWC
+// miss it first fetches the CWT entry, then probes the tables indicated —
+// without size information it must probe both sizes (2d requests).
+func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	t, ok := w.tables[asid]
+	if !ok {
+		return mmu.Outcome{}
+	}
+	out := mmu.Outcome{WalkCacheCycles: mmu.StepCycles}
+	region := t.region(v)
+
+	mask, haveMask := t.cwt[region], true
+	if !w.cwcPMD.Lookup(asid, region) && !w.cwcPUD.Lookup(asid, region>>9) {
+		// CWC miss: fetch the CWT entry from memory, then probe.
+		out.Groups = append(out.Groups, []addr.PA{t.cwtPA(region)})
+		w.cwcPMD.Insert(asid, region)
+		w.cwcPUD.Insert(asid, region>>9)
+	}
+	if mask == 0 {
+		// Nothing mapped in the region per CWT... but probe conservatively
+		// in case the region is brand new (mask updated on Map, so an
+		// empty mask truly means unmapped).
+		haveMask = false
+	}
+
+	var probe []addr.PA
+	sizes := []addr.PageSize{}
+	if haveMask {
+		for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+			if mask&(1<<uint(s)) != 0 {
+				sizes = append(sizes, s)
+			}
+		}
+	}
+	for _, s := range sizes {
+		probe = append(probe, t.tables[s].probePAs(v)...)
+	}
+	if len(probe) > 0 {
+		out.Groups = append(out.Groups, probe)
+	}
+	for _, s := range sizes {
+		if e, ok := t.tables[s].lookup(v); ok {
+			out.Entry, out.Found = e, true
+			break
+		}
+	}
+	return out
+}
+
+var _ mmu.Walker = (*Walker)(nil)

@@ -1,0 +1,467 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/hashpt"
+	"lvm/internal/oskernel"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+	"lvm/internal/sim"
+	"lvm/internal/stats"
+	"lvm/internal/vas"
+)
+
+// CollisionResult carries the §7.3 collision comparison.
+type CollisionResult struct {
+	LVM4K, LVMTHP   map[string]float64
+	Hash4K, HashTHP map[string]float64
+	AvgLVM4K        float64
+	AvgLVMTHP       float64
+	AvgHash4K       float64
+	AvgHashTHP      float64
+	AvgExtraPerColl float64
+	Table           *stats.Table
+}
+
+// CollisionRates reproduces §7.3's collision study: LVM vs a Blake2 hash
+// table at load factor 0.6. Paper: LVM 0.2%/0.6%, hash 22%/19%; extra
+// accesses per collision avg 2.36 under C_err = 3.
+func (r *Runner) CollisionRates() CollisionResult {
+	res := CollisionResult{
+		LVM4K: map[string]float64{}, LVMTHP: map[string]float64{},
+		Hash4K: map[string]float64{}, HashTHP: map[string]float64{},
+	}
+	tb := stats.NewTable("workload", "pages", "lvm", "blake2 hash", "extra/coll")
+	var l4, lt, h4, ht, extra []float64
+	for _, thp := range []bool{false, true} {
+		for _, name := range r.Cfg.Workloads {
+			lv := r.Run(name, oskernel.SchemeLVM, thp)
+			// Hash baseline: insert the same translations into an
+			// open-addressing Blake2 table at load 0.6.
+			w := r.Workload(name)
+			trs := w.Space.Translations(thp)
+			h := hashpt.New(len(trs), hashpt.DefaultLoadFactor)
+			for _, tr := range trs {
+				if _, err := h.Insert(tr.VPN, entryFor(tr)); err != nil {
+					panic(err)
+				}
+			}
+			hc := h.CollisionRate()
+			label := "4KB"
+			if thp {
+				label = "THP"
+				res.LVMTHP[name], res.HashTHP[name] = lv.CollisionRate, hc
+				lt = append(lt, lv.CollisionRate)
+				ht = append(ht, hc)
+			} else {
+				res.LVM4K[name], res.Hash4K[name] = lv.CollisionRate, hc
+				l4 = append(l4, lv.CollisionRate)
+				h4 = append(h4, hc)
+			}
+			if lv.ExtraPerColl > 0 {
+				extra = append(extra, lv.ExtraPerColl)
+			}
+			tb.AddRow(name, label, pct(lv.CollisionRate), pct(hc), lv.ExtraPerColl)
+		}
+	}
+	res.AvgLVM4K, res.AvgLVMTHP = stats.Mean(l4), stats.Mean(lt)
+	res.AvgHash4K, res.AvgHashTHP = stats.Mean(h4), stats.Mean(ht)
+	res.AvgExtraPerColl = stats.Mean(extra)
+	res.Table = tb
+	return res
+}
+
+// entryFor builds a placeholder entry for the hash-table baseline (the
+// collision study depends only on key placement, not on the PPN).
+func entryFor(tr vas.Translation) pte.Entry { return pte.New(1, tr.Size) }
+
+// RetrainResult carries the §7.3 maintenance study.
+type RetrainResult struct {
+	// Retrain-class events (retrains + rebuilds) per workload run,
+	// including a growth phase. Paper: at most 3, average 2 (measured
+	// on the authors' OS prototype over complete application runtimes).
+	Events map[string]uint64
+	Max    uint64
+	Avg    float64
+	// Management cycles — initialization plus ongoing maintenance, as the
+	// paper counts them — as a fraction of a 1-billion-instruction
+	// simulation window (the paper's region of interest). Paper: 1.17%
+	// average, 1.91% peak (dfs); THP < 0.01%.
+	MgmtFraction map[string]float64
+	MgmtTHP      map[string]float64
+	AvgMgmt      float64
+	Table        *stats.Table
+}
+
+// paperWindowInstrs is the simulated region of interest in §6: "we execute
+// 1 billion instructions". Our traces sample fewer instructions, so the
+// management fraction scales run cycles up to this window.
+const paperWindowInstrs = 1e9
+
+// RetrainStats reproduces §7.3's retraining study. Two measurements per
+// workload, matching the paper's two methodologies:
+//
+//   - Retrain events: launch, then grow the heap by ~12% page by page
+//     past the initially-trained span (the paper ran applications
+//     end-to-end on its OS prototype). Events must stay in the low
+//     single digits.
+//   - Management overhead: all management cycles as they occur —
+//     initialization plus growth — against a 1-billion-instruction
+//     execution window, the paper's simulated region of interest. Our
+//     traces sample fewer instructions, so run cycles are scaled up to
+//     that window at the workload's measured CPI.
+func (r *Runner) RetrainStats() RetrainResult {
+	res := RetrainResult{
+		Events:       map[string]uint64{},
+		MgmtFraction: map[string]float64{},
+		MgmtTHP:      map[string]float64{},
+	}
+	tb := stats.NewTable("workload", "retrain events", "mgmt 4KB", "mgmt THP")
+	var evs, fracs []float64
+	for _, name := range r.Cfg.Workloads {
+		w := r.Workload(name)
+		mem := r.physFor(w)
+		sys := oskernel.NewSystem(mem, oskernel.SchemeLVM)
+		p, err := sys.Launch(1, w.Space, false)
+		if err != nil {
+			panic(err)
+		}
+		// Growth phase: extend the heap tail by ~12% beyond its current
+		// high-water mark (brk/mmap growth past the initially-trained span).
+		heap := heapOf(w.Space)
+		grow := heap.Span / 8
+		start := heap.Mapped[len(heap.Mapped)-1] + 1
+		for i := 0; i < grow; i++ {
+			v := start + addr.VPN(i)
+			if _, ok := sys.SoftwareLookup(1, v); ok {
+				continue // another region's page: skip, keep extending
+			}
+			if err := sys.MapPage(1, v, addr.Page4K); err != nil {
+				break
+			}
+		}
+		events := p.LvmIx.Stats().Retrains + p.LvmIx.Stats().Rebuilds
+		res.Events[name] = events
+		evs = append(evs, float64(events))
+		// Management fraction over the paper's 1B-instruction window.
+		frac := mgmtFraction(p.MgmtCycles, r.Run(name, oskernel.SchemeLVM, false).Sim)
+		res.MgmtFraction[name] = frac
+		fracs = append(fracs, frac)
+		// THP: far fewer translations to manage (paper: < 0.01%).
+		thpSys := oskernel.NewSystem(r.physFor(w), oskernel.SchemeLVM)
+		tp, err := thpSys.Launch(1, w.Space, true)
+		if err != nil {
+			panic(err)
+		}
+		thpFrac := mgmtFraction(tp.MgmtCycles, r.Run(name, oskernel.SchemeLVM, true).Sim)
+		res.MgmtTHP[name] = thpFrac
+		tb.AddRow(name, events, pct(frac), pct(thpFrac))
+	}
+	for _, e := range evs {
+		if uint64(e) > res.Max {
+			res.Max = uint64(e)
+		}
+	}
+	res.Avg = stats.Mean(evs)
+	res.AvgMgmt = stats.Mean(fracs)
+	res.Table = tb
+	return res
+}
+
+// mgmtFraction scales a sampled run up to the paper's 1B-instruction
+// region of interest at the measured CPI and reports management cycles as
+// a fraction of that window.
+func mgmtFraction(mgmtCycles uint64, run sim.Result) float64 {
+	if run.Instructions == 0 {
+		return 0
+	}
+	window := run.Cycles * paperWindowInstrs / float64(run.Instructions)
+	return float64(mgmtCycles) / (window + float64(mgmtCycles))
+}
+
+// MemoryOverheadResult carries §7.3's memory-consumption comparison.
+type MemoryOverheadResult struct {
+	// Overhead beyond 8 B per translation, per scheme, for each workload.
+	LVM, ECPT, Radix map[string]uint64
+	Table            *stats.Table
+}
+
+// MemoryOverhead reproduces §7.3: extra memory each structure uses beyond
+// the 8-byte-per-translation minimum. Paper: LVM ≤ 1.3× minimum (e.g.
+// +12 MB at 20 GB); ECPT +27 MB.
+func (r *Runner) MemoryOverhead() MemoryOverheadResult {
+	res := MemoryOverheadResult{
+		LVM: map[string]uint64{}, ECPT: map[string]uint64{}, Radix: map[string]uint64{},
+	}
+	tb := stats.NewTable("workload", "lvm overhead", "ecpt overhead", "radix overhead")
+	for _, name := range r.Cfg.Workloads {
+		lv := r.Run(name, oskernel.SchemeLVM, false).OverheadBytes
+		ec := r.Run(name, oskernel.SchemeECPT, false).OverheadBytes
+		rad := r.Run(name, oskernel.SchemeRadix, false).OverheadBytes
+		res.LVM[name], res.ECPT[name], res.Radix[name] = lv, ec, rad
+		tb.AddRow(name, byteLabel(lv), byteLabel(ec), byteLabel(rad))
+	}
+	res.Table = tb
+	return res
+}
+
+// FragmentationResult carries §7.3's fragmentation robustness study.
+type FragmentationResult struct {
+	// Speedup of LVM over radix per fragmentation level.
+	Speedups map[string]float64
+	// LWC hit rates per level (paper: stays > 99%).
+	LWCHits map[string]float64
+	Table   *stats.Table
+}
+
+// FragmentationRobustness reproduces §7.3's fragmentation sweep: LVM with
+// contiguity capped at 256 KB and at FMFI 0.8/0.85/0.9 must keep its
+// speedup and LWC hit rate.
+func (r *Runner) FragmentationRobustness() FragmentationResult {
+	res := FragmentationResult{Speedups: map[string]float64{}, LWCHits: map[string]float64{}}
+	tb := stats.NewTable("environment", "lvm speedup vs radix", "lwc hit")
+	name := r.translationBoundWorkload()
+	w := r.Workload(name)
+
+	levels := []struct {
+		label string
+		prep  func(*phys.Memory)
+	}{
+		{"fresh", func(m *phys.Memory) {}},
+		{"cap 256KB", func(m *phys.Memory) {
+			m.Fragment(r.Cfg.Params.Seed, phys.DatacenterFragmentation)
+			m.SetContiguityCap(6)
+		}},
+		{"FMFI 0.8", func(m *phys.Memory) { m.FragmentToFMFI(r.Cfg.Params.Seed, 9, 0.8) }},
+		{"FMFI 0.9", func(m *phys.Memory) { m.FragmentToFMFI(r.Cfg.Params.Seed, 9, 0.9) }},
+	}
+	for _, lvl := range levels {
+		run := func(scheme oskernel.Scheme) (float64, float64) {
+			// Fragmented memories need headroom: aged memories keep 25%
+			// free, so size at 4× footprint.
+			mem := phys.New(4*w.FootprintBytes() + r.Cfg.PhysSlackBytes)
+			lvl.prep(mem)
+			pwc, lwc := sim.ScaledHW()
+			sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+			if _, err := sys.Launch(1, w.Space, false); err != nil {
+				panic(fmt.Sprintf("frag launch %s/%s: %v", lvl.label, scheme, err))
+			}
+			cpu := sim.New(r.Cfg.Sim, sys.Walker())
+			cycles := cpu.Run(1, w).Cycles
+			hit := 0.0
+			if lw := sys.LVMWalker(); lw != nil {
+				hit = lw.LWC().HitRate()
+			}
+			return cycles, hit
+		}
+		radCycles, _ := run(oskernel.SchemeRadix)
+		lvmCycles, hit := run(oskernel.SchemeLVM)
+		sp := speedup(radCycles, lvmCycles)
+		res.Speedups[lvl.label] = sp
+		res.LWCHits[lvl.label] = hit
+		tb.AddRow(lvl.label, sp, pct(hit))
+	}
+	res.Table = tb
+	return res
+}
+
+// WalkCacheResult carries §7.2's miss-rate characterization.
+type WalkCacheResult struct {
+	L2TLBMiss  map[string]float64
+	PWCPDEMiss map[string]float64
+	LWCHit     map[string]float64
+	Table      *stats.Table
+}
+
+// WalkCacheMissRates reproduces §7.2: L2 TLB miss rates (57.5–99.4%,
+// scheme-independent), radix PMD-level PWC miss rates (59.7–99.6%), and
+// LVM LWC hit rates (> 99%).
+func (r *Runner) WalkCacheMissRates() WalkCacheResult {
+	res := WalkCacheResult{
+		L2TLBMiss: map[string]float64{}, PWCPDEMiss: map[string]float64{}, LWCHit: map[string]float64{},
+	}
+	tb := stats.NewTable("workload", "L2 TLB miss", "radix PDE miss", "LWC hit")
+	for _, name := range r.Cfg.Workloads {
+		rad := r.Run(name, oskernel.SchemeRadix, false)
+		lv := r.Run(name, oskernel.SchemeLVM, false)
+		res.L2TLBMiss[name] = rad.Sim.L2TLBMiss
+		res.PWCPDEMiss[name] = rad.PWCPDEMissRate
+		res.LWCHit[name] = lv.LWCHitRate
+		tb.AddRow(name, pct(rad.Sim.L2TLBMiss), pct(rad.PWCPDEMissRate), pct(lv.LWCHitRate))
+	}
+	res.Table = tb
+	return res
+}
+
+// PTWL1Result carries §7.2's PTW-connection study.
+type PTWL1Result struct {
+	// Speedups of LVM over radix when walkers connect to L1 vs L2.
+	SpeedupL1, SpeedupL2 float64
+	// L1 MPKI increase from moving the PTW to L1 (radix vs LVM).
+	RadixL1MPKIIncrease, LVML1MPKIIncrease float64
+	Table                                  *stats.Table
+}
+
+// PTWL1Connection reproduces §7.2's study: connecting page walkers to the
+// L1 cache. Paper: LVM +11% (L1) vs +14% (L2); L1 MPKI rises 59% for
+// radix but only 38% for LVM.
+func (r *Runner) PTWL1Connection() PTWL1Result {
+	var res PTWL1Result
+	tb := stats.NewTable("config", "lvm speedup", "radix L1 MPKI", "lvm L1 MPKI")
+	name := r.translationBoundWorkload()
+	w := r.Workload(name)
+	type out struct{ cycles, l1mpki float64 }
+	run := func(scheme oskernel.Scheme, entry int) out {
+		mem := r.physFor(w)
+		pwc, lwc := sim.ScaledHW()
+		sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+		if _, err := sys.Launch(1, w.Space, false); err != nil {
+			panic(err)
+		}
+		cfg := r.Cfg.Sim
+		cfg.Cache.WalkEntryLevel = entry
+		cpu := sim.New(cfg, sys.Walker())
+		res := cpu.Run(1, w)
+		return out{res.Cycles, res.L1MPKI}
+	}
+	radL2, radL1 := run(oskernel.SchemeRadix, 2), run(oskernel.SchemeRadix, 1)
+	lvmL2, lvmL1 := run(oskernel.SchemeLVM, 2), run(oskernel.SchemeLVM, 1)
+	res.SpeedupL2 = speedup(radL2.cycles, lvmL2.cycles)
+	res.SpeedupL1 = speedup(radL1.cycles, lvmL1.cycles)
+	res.RadixL1MPKIIncrease = radL1.l1mpki/radL2.l1mpki - 1
+	res.LVML1MPKIIncrease = lvmL1.l1mpki/lvmL2.l1mpki - 1
+	tb.AddRow("PTW->L2", res.SpeedupL2, radL2.l1mpki, lvmL2.l1mpki)
+	tb.AddRow("PTW->L1", res.SpeedupL1, radL1.l1mpki, lvmL1.l1mpki)
+	res.Table = tb
+	return res
+}
+
+// MultiTenancyResult carries §7.1's stacked-workload study.
+type MultiTenancyResult struct {
+	// Per-workload LVM speedups, solo vs stacked (paper: within 0.5%).
+	Solo, Stacked map[string]float64
+	MaxDelta      float64
+	Table         *stats.Table
+}
+
+// MultiTenancy reproduces §7.1's multi-tenant study: workloads run on
+// separate cores (private caches/TLBs per Table 1) with their own address
+// spaces; per-workload speedups must match the solo runs.
+func (r *Runner) MultiTenancy() MultiTenancyResult {
+	res := MultiTenancyResult{Solo: map[string]float64{}, Stacked: map[string]float64{}}
+	tb := stats.NewTable("workload", "solo speedup", "stacked speedup", "delta")
+	names := r.Cfg.Workloads
+	if len(names) > 4 {
+		names = names[:4]
+	}
+	// Stacked: all processes share one OS/phys memory and scheme walker,
+	// each on its own core.
+	stackedCycles := map[string]float64{}
+	for _, scheme := range []oskernel.Scheme{oskernel.SchemeRadix, oskernel.SchemeLVM} {
+		var total uint64
+		for _, name := range names {
+			total += r.Workload(name).FootprintBytes()
+		}
+		mem := phys.New(total + total/2 + r.Cfg.PhysSlackBytes)
+		pwc, lwc := sim.ScaledHW()
+		sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+		for i, name := range names {
+			if _, err := sys.Launch(uint16(i+1), r.Workload(name).Space, false); err != nil {
+				panic(err)
+			}
+		}
+		for i, name := range names {
+			cpu := sim.New(r.Cfg.Sim, sys.Walker())
+			cycles := cpu.Run(uint16(i+1), r.Workload(name)).Cycles
+			key := name + "/" + string(scheme)
+			stackedCycles[key] = cycles
+		}
+	}
+	for _, name := range names {
+		soloBase := r.Run(name, oskernel.SchemeRadix, false).Sim.Cycles
+		soloLVM := r.Run(name, oskernel.SchemeLVM, false).Sim.Cycles
+		solo := speedup(soloBase, soloLVM)
+		stacked := speedup(stackedCycles[name+"/radix"], stackedCycles[name+"/lvm"])
+		res.Solo[name], res.Stacked[name] = solo, stacked
+		d := stacked - solo
+		if d < 0 {
+			d = -d
+		}
+		if d > res.MaxDelta {
+			res.MaxDelta = d
+		}
+		tb.AddRow(name, solo, stacked, d)
+	}
+	res.Table = tb
+	return res
+}
+
+// PriorWorkResult carries the §7.5 comparisons.
+type PriorWorkResult struct {
+	// Speedups over radix for each scheme on the first workload.
+	LVM, ECPT, ASAP, Midgard, FPT float64
+	// FPT under fragmentation (paper: degrades toward radix).
+	FPTFragmented float64
+	Table         *stats.Table
+}
+
+// PriorWork reproduces §7.5: ASAP (slower than ECPT and LVM from prefetch
+// traffic), Midgard (+3% over radix; LVM ahead), and FPT (close behind LVM
+// when unfragmented, degrading to radix under fragmentation).
+func (r *Runner) PriorWork() PriorWorkResult {
+	var res PriorWorkResult
+	tb := stats.NewTable("scheme", "speedup vs radix")
+	name := r.translationBoundWorkload()
+	base := r.Run(name, oskernel.SchemeRadix, false).Sim.Cycles
+	res.LVM = speedup(base, r.Run(name, oskernel.SchemeLVM, false).Sim.Cycles)
+	res.ECPT = speedup(base, r.Run(name, oskernel.SchemeECPT, false).Sim.Cycles)
+	res.ASAP = speedup(base, r.Run(name, oskernel.SchemeASAP, false).Sim.Cycles)
+	res.Midgard = speedup(base, r.Run(name, oskernel.SchemeMidgard, false).Sim.Cycles)
+	res.FPT = speedup(base, r.Run(name, oskernel.SchemeFPT, false).Sim.Cycles)
+
+	// FPT under heavy fragmentation: 2MB table allocations fail.
+	w := r.Workload(name)
+	mem := phys.New(4*w.FootprintBytes() + r.Cfg.PhysSlackBytes)
+	mem.Fragment(r.Cfg.Params.Seed, phys.DatacenterFragmentation)
+	mem.SetContiguityCap(6)
+	sys := oskernel.NewSystem(mem, oskernel.SchemeFPT)
+	if _, err := sys.Launch(1, w.Space, false); err != nil {
+		panic(err)
+	}
+	cpu := sim.New(r.Cfg.Sim, sys.Walker())
+	res.FPTFragmented = speedup(base, cpu.Run(1, w).Cycles)
+
+	tb.AddRow("lvm", res.LVM)
+	tb.AddRow("ecpt", res.ECPT)
+	tb.AddRow("asap", res.ASAP)
+	tb.AddRow("midgard", res.Midgard)
+	tb.AddRow("fpt", res.FPT)
+	tb.AddRow("fpt (fragmented)", res.FPTFragmented)
+	res.Table = tb
+	return res
+}
+
+// translationBoundWorkload picks the most walk-intensive workload in the
+// sweep (gups when present) so single-workload studies measure the regime
+// where translation dominates.
+func (r *Runner) translationBoundWorkload() string {
+	for _, n := range r.Cfg.Workloads {
+		if n == "gups" {
+			return n
+		}
+	}
+	return r.Cfg.Workloads[0]
+}
+
+// --- small helpers ----------------------------------------------------------
+
+func heapOf(s *vas.AddressSpace) *vas.Region {
+	for i := range s.Regions {
+		if s.Regions[i].Kind == vas.Heap {
+			return &s.Regions[i]
+		}
+	}
+	panic("experiments: no heap region")
+}

@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each experiment has one entry point that returns a
+// printable table plus the raw numbers; cmd/lvmbench drives them all and
+// bench_test.go wraps each as a testing.B benchmark.
+//
+// Results are cached per (workload, scheme, page-size) so figures that
+// share runs (9–12) pay for each simulation once.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"lvm/internal/oskernel"
+	"lvm/internal/phys"
+	"lvm/internal/sim"
+	"lvm/internal/workload"
+)
+
+// Config sizes the experiment sweep.
+type Config struct {
+	// Workloads to sweep (default: the nine Figure-9 workloads).
+	Workloads []string
+	// Params scales workload construction.
+	Params workload.Params
+	// Sim is the machine model (default: the proportionally scaled model;
+	// see sim.ScaledConfig).
+	Sim sim.Config
+	// PhysSlackBytes is added to each workload's footprint when sizing
+	// simulated physical memory.
+	PhysSlackBytes uint64
+}
+
+// Default is the full-scale configuration used by cmd/lvmbench and the
+// benchmarks (runtime: a few minutes).
+func Default() Config {
+	return Config{
+		Workloads:      workload.SpeedupNames(),
+		Params:         workload.DefaultParams(),
+		Sim:            sim.ScaledConfig(),
+		PhysSlackBytes: 1 << 30,
+	}
+}
+
+// Quick is a reduced configuration for tests (runtime: seconds).
+func Quick() Config {
+	p := workload.QuickParams()
+	p.GUPSTableBytes = 1 << 30
+	p.MemcachedBytes = 512 << 20
+	p.MumerBytes = 512 << 20
+	p.GraphScale = 18
+	p.TraceLen = 200_000
+	return Config{
+		Workloads:      []string{"bfs", "gups", "mem$"},
+		Params:         p,
+		Sim:            sim.ScaledConfig(),
+		PhysSlackBytes: 1 << 29,
+	}
+}
+
+// RunKey identifies one cached simulation.
+type RunKey struct {
+	Workload string
+	Scheme   oskernel.Scheme
+	THP      bool
+}
+
+// RunOutput bundles a simulation result with the scheme-side statistics
+// the characterization sections need.
+type RunOutput struct {
+	Sim sim.Result
+
+	// LVM-side stats (zero for other schemes).
+	IndexBytes     int
+	IndexPeakBytes int
+	IndexDepth     int
+	IndexLeaves    int
+	LWCHitRate     float64
+	Retrains       uint64
+	Rebuilds       uint64
+	Overflows      uint64
+	MgmtCycles     uint64
+
+	// Radix-side stats.
+	PWCPDEMissRate float64
+
+	// Table overhead vs the 8-byte minimum (§7.3).
+	OverheadBytes uint64
+
+	// Collision stats measured over all mapped keys.
+	CollisionRate float64
+	ExtraPerColl  float64
+}
+
+// Runner executes and caches simulations.
+type Runner struct {
+	Cfg   Config
+	runs  map[RunKey]*RunOutput
+	wls   map[string]*workload.Workload
+	quiet bool
+}
+
+// NewRunner creates a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:  cfg,
+		runs: make(map[RunKey]*RunOutput),
+		wls:  make(map[string]*workload.Workload),
+	}
+}
+
+// SetQuiet suppresses progress output.
+func (r *Runner) SetQuiet(q bool) { r.quiet = q }
+
+func (r *Runner) logf(format string, args ...any) {
+	if !r.quiet {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// Workload builds (and caches) a workload.
+func (r *Runner) Workload(name string) *workload.Workload {
+	if w, ok := r.wls[name]; ok {
+		return w
+	}
+	w, err := workload.Build(name, r.Cfg.Params)
+	if err != nil {
+		panic(err)
+	}
+	r.wls[name] = w
+	return w
+}
+
+// physFor sizes simulated physical memory for a workload.
+func (r *Runner) physFor(w *workload.Workload) *phys.Memory {
+	need := w.FootprintBytes() + w.FootprintBytes()/2 + r.Cfg.PhysSlackBytes
+	return phys.New(need)
+}
+
+// Run executes (or returns the cached) simulation for one configuration.
+func (r *Runner) Run(name string, scheme oskernel.Scheme, thp bool) *RunOutput {
+	key := RunKey{name, scheme, thp}
+	if out, ok := r.runs[key]; ok {
+		return out
+	}
+	w := r.Workload(name)
+	mem := r.physFor(w)
+	pwc, lwc := sim.ScaledHW()
+	sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+	if _, err := sys.Launch(1, w.Space, thp); err != nil {
+		panic(fmt.Sprintf("experiments: launch %s/%s: %v", name, scheme, err))
+	}
+	cfg := r.Cfg.Sim
+	cfg.Midgard = scheme == oskernel.SchemeMidgard
+	cpu := sim.New(cfg, sys.Walker())
+	r.logf("  running %s / %s (thp=%t)...", name, scheme, thp)
+	res := cpu.Run(1, w)
+
+	out := &RunOutput{Sim: res}
+	if p := sys.Process(1); p != nil {
+		out.OverheadBytes = sys.TableOverheadBytes(1)
+		out.MgmtCycles = p.MgmtCycles
+		if p.LvmIx != nil {
+			out.IndexBytes = p.LvmIx.SizeBytes()
+			out.IndexPeakBytes = p.LvmIx.Stats().PeakIndexBytes
+			out.IndexDepth = p.LvmIx.Depth()
+			out.IndexLeaves = p.LvmIx.LeafCount()
+			out.Retrains = p.LvmIx.Stats().Retrains
+			out.Rebuilds = p.LvmIx.Stats().Rebuilds
+			out.Overflows = p.LvmIx.Stats().SearchOverflows
+			out.LWCHitRate = sys.LVMWalker().LWC().HitRate()
+			out.CollisionRate, out.ExtraPerColl = lvmCollisions(sys, p)
+		}
+	}
+	if rw := sys.RadixWalker(); rw != nil {
+		_, _, pde := rw.PWCs()
+		out.PWCPDEMissRate = pde.MissRate()
+	}
+	r.runs[key] = out
+	// Simulated memories are large; let the GC reclaim between runs.
+	runtime.GC()
+	return out
+}
+
+// lvmCollisions measures the §7.3 collision metrics by walking every
+// mapped key once.
+func lvmCollisions(sys *oskernel.System, p *oskernel.Process) (rate, extra float64) {
+	var collided, total, extraRefs int
+	for _, reg := range p.Space.Regions {
+		for _, v := range reg.Mapped {
+			res := p.LvmIx.Walk(p.Norm.Normalize(v))
+			if !res.Found {
+				continue
+			}
+			total++
+			if res.PTEAccesses > 1 {
+				collided++
+				extraRefs += res.PTEAccesses - 1
+			}
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	rate = float64(collided) / float64(total)
+	if collided > 0 {
+		extra = float64(extraRefs) / float64(collided)
+	}
+	return rate, extra
+}
+
+// speedup computes base/cycles with a zero guard.
+func speedup(base, other float64) float64 {
+	if other == 0 {
+		return 0
+	}
+	return base / other
+}
+
+// pct renders a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/oskernel"
+)
+
+func TestGrowthBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	r := NewRunner(Default())
+	name := "gups"
+	w := r.Workload(name)
+	mem := r.physFor(w)
+	sys := oskernel.NewSystem(mem, oskernel.SchemeLVM)
+	p, err := sys.Launch(1, w.Space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.MgmtCycles
+	heap := heapOf(w.Space)
+	grow := heap.Span / 8
+	start := heap.Mapped[len(heap.Mapped)-1] + 1
+	inserted := 0
+	for i := 0; i < grow; i++ {
+		v := start + addr.VPN(i)
+		if _, ok := sys.SoftwareLookup(1, v); ok {
+			continue
+		}
+		if err := sys.MapPage(1, v, addr.Page4K); err != nil {
+			break
+		}
+		inserted++
+	}
+	st := p.LvmIx.Stats()
+	fmt.Printf("%s: inserted=%d steady=%d insertPart=%d retrains=%d rebuilds=%d lazy=%d leaves=%d mapped=%d\n",
+		name, inserted, p.MgmtCycles-base, uint64(inserted)*150,
+		st.Retrains, st.Rebuilds, st.LazyTrains, p.LvmIx.LeafCount(), p.LvmIx.MappedPages())
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/oskernel"
+	"lvm/internal/sim"
+	"lvm/internal/stats"
+)
+
+// TailLatencyResult carries the §7.3 memcached tail-latency study.
+type TailLatencyResult struct {
+	// Request latency percentiles, in cycles, for a quiescent run and a
+	// run with continuous LVM management churn (maps/unmaps between
+	// requests). Paper: LVM's computational costs do not affect even the
+	// 99th percentile.
+	StaticP50, StaticP99 float64
+	ChurnP50, ChurnP99   float64
+	// ChurnOps is the number of map/unmap operations injected.
+	ChurnOps int
+	// MgmtCyclesCharged is the total management time injected.
+	MgmtCyclesCharged uint64
+	Table             *stats.Table
+}
+
+// TailLatency reproduces §7.3's memcached tail study: request latencies
+// are measured with the OS continuously mapping and unmapping pages (the
+// LVM maintenance path) between requests; p99 must be unaffected.
+func (r *Runner) TailLatency() TailLatencyResult {
+	var res TailLatencyResult
+	w := r.Workload("mem$")
+
+	run := func(churn bool) (p50, p99 float64) {
+		mem := r.physFor(w)
+		pwc, lwc := sim.ScaledHW()
+		sys := oskernel.NewSystemHW(mem, oskernel.SchemeLVM,
+			oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+		p, err := sys.Launch(1, w.Space, false)
+		if err != nil {
+			panic(err)
+		}
+		heap := heapOf(w.Space)
+		tail := heap.Mapped[len(heap.Mapped)-1]
+		cpu := sim.New(r.Cfg.Sim, sys.Walker())
+
+		var hook func(int) float64
+		if churn {
+			cursor := heap.Base
+			lastMgmt := p.MgmtCycles
+			hook = func(i int) float64 {
+				if i%512 != 511 {
+					return 0
+				}
+				// Unmap-and-remap churn every 512 requests: frees keep the
+				// index untouched (§5.2) and re-maps drive the gapped
+				// insert path, the steady-state maintenance load.
+				if sys.UnmapPage(1, cursor) {
+					res.ChurnOps++
+					if err := sys.MapPage(1, cursor, addr.Page4K); err == nil {
+						res.ChurnOps++
+					}
+				}
+				cursor++
+				if cursor >= tail {
+					cursor = heap.Base
+				}
+				d := p.MgmtCycles - lastMgmt
+				lastMgmt = p.MgmtCycles
+				res.MgmtCyclesCharged += d
+				return float64(d)
+			}
+		}
+		_, lats := cpu.RunTail(1, w, hook)
+		return stats.Percentile(lats, 50), stats.Percentile(lats, 99)
+	}
+
+	res.StaticP50, res.StaticP99 = run(false)
+	res.ChurnP50, res.ChurnP99 = run(true)
+
+	tb := stats.NewTable("run", "p50 cycles", "p99 cycles")
+	tb.AddRow("static", res.StaticP50, res.StaticP99)
+	tb.AddRow("with LVM mgmt churn", res.ChurnP50, res.ChurnP99)
+	tb.AddRow("churn ops", res.ChurnOps, fmt.Sprintf("%d mgmt cycles", res.MgmtCyclesCharged))
+	res.Table = tb
+	return res
+}

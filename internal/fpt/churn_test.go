@@ -1,0 +1,124 @@
+package fpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+// TestChurnOracle runs random map/unmap/lookup traffic over a span wide
+// enough to create many regions, on fresh memory (folded fast path).
+func TestChurnOracle(t *testing.T) {
+	mem := phys.New(512 << 20)
+	tb, err := New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	oracle := map[addr.VPN]pte.Entry{}
+	for op := 0; op < 10000; op++ {
+		v := addr.VPN(rng.Intn(1 << 16)) // ~128 regions of 512 pages
+		if _, ok := oracle[v]; ok && rng.Intn(3) == 0 {
+			if !tb.Unmap(v) {
+				t.Fatalf("op %d: unmap failed", op)
+			}
+			delete(oracle, v)
+		} else {
+			e := pte.New(addr.PPN(op+1), addr.Page4K)
+			if err := tb.Map(v, e); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			oracle[v] = e
+		}
+	}
+	for v := addr.VPN(0); v < 1<<16; v += 3 {
+		got, ok := tb.Lookup(v)
+		want, mapped := oracle[v]
+		if ok != mapped || (mapped && got != want) {
+			t.Fatalf("VPN %d: got (%v,%t) want (%v,%t)", v, got, ok, want, mapped)
+		}
+	}
+	if tb.FoldFailures() != 0 {
+		t.Errorf("fresh memory recorded %d fold failures", tb.FoldFailures())
+	}
+}
+
+// TestFoldedFractionDegradesWithFragmentation maps the same working set
+// onto progressively harsher physical memories; the folded fraction must be
+// monotone non-increasing while correctness holds throughout — the §7.5
+// argument for learning over flattening.
+func TestFoldedFractionDegradesWithFragmentation(t *testing.T) {
+	fractions := make([]float64, 0, 3)
+	for _, cap := range []int{phys.MaxOrder, 8, 6} { // unlimited, 1MB, 256KB
+		mem := phys.New(256 << 20)
+		if cap < phys.MaxOrder {
+			mem.Fragment(3, phys.DatacenterFragmentation)
+			mem.SetContiguityCap(cap)
+		}
+		tb, err := New(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4096; i++ {
+			v := addr.VPN(i * 17)
+			if err := tb.Map(v, pte.New(addr.PPN(i+1), addr.Page4K)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4096; i += 31 {
+			if _, ok := tb.Lookup(addr.VPN(i * 17)); !ok {
+				t.Fatalf("cap %d: key lost", cap)
+			}
+		}
+		fractions = append(fractions, tb.FoldedFraction())
+	}
+	if fractions[0] != 1 {
+		t.Errorf("unfragmented folded fraction = %v, want 1", fractions[0])
+	}
+	for i := 1; i < len(fractions); i++ {
+		if fractions[i] > fractions[i-1] {
+			t.Errorf("folded fraction rose under harsher fragmentation: %v", fractions)
+		}
+	}
+	if last := fractions[len(fractions)-1]; last > 0.1 {
+		t.Errorf("256KB cap still folds %.0f%% of regions", 100*last)
+	}
+}
+
+// TestWalkRefsFoldedVsUnfolded verifies the performance mechanism directly:
+// a cold walk in a folded region needs 2 memory refs, an unfolded region
+// needs more (the flattened levels decompose back to radix steps).
+func TestWalkRefsFoldedVsUnfolded(t *testing.T) {
+	folded := func() int {
+		tb, err := New(phys.New(128 << 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Map(12345, pte.New(1, addr.Page4K))
+		w := NewWalker()
+		w.Attach(1, tb)
+		return w.Walk(1, 12345).Refs()
+	}()
+	unfolded := func() int {
+		mem := phys.New(128 << 20)
+		mem.Fragment(3, phys.DatacenterFragmentation)
+		mem.SetContiguityCap(6)
+		tb, err := New(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Map(12345, pte.New(1, addr.Page4K))
+		w := NewWalker()
+		w.Attach(1, tb)
+		return w.Walk(1, 12345).Refs()
+	}()
+	if folded != 2 {
+		t.Errorf("cold folded walk = %d refs, want 2", folded)
+	}
+	if unfolded <= folded {
+		t.Errorf("unfolded walk (%d refs) not more expensive than folded (%d)", unfolded, folded)
+	}
+}

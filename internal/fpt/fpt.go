@@ -1,0 +1,251 @@
+// Package fpt implements Flattened Page Tables (Park et al., ASPLOS'22),
+// the §7.5.3 comparison: adjacent radix levels are folded into 2 MB tables
+// (L4+L3 into one upper table, L2+L1 into one leaf table per 1 GB region),
+// cutting a cold walk from four accesses to two — but only when the 2 MB
+// physically contiguous table allocations succeed. Under fragmentation the
+// affected regions degrade to radix behaviour, which is exactly the effect
+// the paper measures.
+package fpt
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/mmu"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+	"lvm/internal/stats"
+)
+
+// foldOrder is the buddy order of a folded table (2 MB).
+const foldOrder = 9
+
+// upperIndexBits is the folded L4+L3 index width (18 VPN bits → 2^18
+// entries × 8 B = 2 MB).
+const upperIndexBits = 18
+
+// region is one 1 GB VA region's folded leaf table.
+type region struct {
+	folded bool
+	base   addr.PPN // folded L2+L1 table (2 MB), when folded
+	// Fallback radix pieces: a PMD page plus one 4 KB PTE table per 2 MB
+	// sub-region, allocated lazily — exactly the layout radix would use,
+	// so the unfolded path has radix's cache behaviour.
+	pmdBase   addr.PPN
+	leafPages map[uint64]addr.PPN
+}
+
+// Table is one process's flattened page table.
+type Table struct {
+	mem *phys.Memory
+	// upper is the folded L4+L3 table.
+	upperFolded bool
+	upperBase   addr.PPN
+	// regions maps VPN>>18 (1 GB granule) to its leaf table state.
+	regions map[uint64]*region
+	// entries is the translation store (tagged by aligned VPN).
+	entries map[addr.VPN]pte.Entry
+
+	foldFailures stats.Counter
+}
+
+// New creates a flattened table; the upper fold is allocated eagerly.
+func New(mem *phys.Memory) (*Table, error) {
+	t := &Table{
+		mem:     mem,
+		regions: make(map[uint64]*region),
+		entries: make(map[addr.VPN]pte.Entry),
+	}
+	if base, err := mem.Alloc(foldOrder); err == nil {
+		t.upperFolded = true
+		t.upperBase = base
+	} else {
+		// Degenerate: even the upper fold failed; behave as radix from the
+		// start.
+		base, err := mem.Alloc(0)
+		if err != nil {
+			return nil, fmt.Errorf("fpt: allocating root: %w", err)
+		}
+		t.upperBase = base
+		t.foldFailures.Inc()
+	}
+	return t, nil
+}
+
+func (t *Table) regionFor(v addr.VPN) *region {
+	key := uint64(v) >> upperIndexBits
+	r, ok := t.regions[key]
+	if !ok {
+		r = &region{}
+		// Try the 2 MB folded leaf allocation; page-fault-time compaction
+		// is not tolerable, so failure means a radix fallback (§7.5.3).
+		if base, err := t.mem.Alloc(foldOrder); err == nil {
+			r.folded = true
+			r.base = base
+		} else {
+			t.foldFailures.Inc()
+			r.leafPages = make(map[uint64]addr.PPN)
+			if base, err := t.mem.Alloc(0); err == nil {
+				r.pmdBase = base
+			}
+		}
+		t.regions[key] = r
+	}
+	return r
+}
+
+// Map installs a translation.
+func (t *Table) Map(v addr.VPN, e pte.Entry) error {
+	tag := addr.AlignDown(v, e.Size())
+	t.entries[tag] = e
+	t.regionFor(v)
+	return nil
+}
+
+// Unmap removes a translation.
+func (t *Table) Unmap(v addr.VPN) bool {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+		tag := addr.AlignDown(v, s)
+		if e, ok := t.entries[tag]; ok && e.Size() == s {
+			delete(t.entries, tag)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup is the software walk.
+func (t *Table) Lookup(v addr.VPN) (pte.Entry, bool) {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+		tag := addr.AlignDown(v, s)
+		if e, ok := t.entries[tag]; ok && e.Size() == s {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// FoldFailures counts 2 MB table allocations that fell back to radix.
+func (t *Table) FoldFailures() uint64 { return t.foldFailures.Value() }
+
+// FoldedFraction returns the fraction of touched 1 GB regions with folded
+// leaf tables.
+func (t *Table) FoldedFraction() float64 {
+	if len(t.regions) == 0 {
+		return 1
+	}
+	folded := 0
+	for _, r := range t.regions {
+		if r.folded {
+			folded++
+		}
+	}
+	return float64(folded) / float64(len(t.regions))
+}
+
+func (t *Table) upperPA(v addr.VPN) addr.PA {
+	idx := uint64(v) >> upperIndexBits
+	span := phys.BlockBytes(foldOrder) / pte.Bytes
+	return addr.PA(uint64(t.upperBase)<<addr.PageShift) + addr.PA(idx%span*pte.Bytes)
+}
+
+func (t *Table) leafPA(r *region, v addr.VPN) addr.PA {
+	idx := uint64(v) & ((1 << upperIndexBits) - 1)
+	if r.folded {
+		return addr.PA(uint64(r.base)<<addr.PageShift) + addr.PA(idx*pte.Bytes)
+	}
+	// Unfolded: one real 4 KB PTE table per 2 MB sub-region, like radix.
+	sub := uint64(v) >> 9
+	page, ok := r.leafPages[sub]
+	if !ok {
+		if p, err := t.mem.Alloc(0); err == nil {
+			page = p
+		} else {
+			page = r.pmdBase
+		}
+		r.leafPages[sub] = page
+	}
+	return addr.PA(uint64(page)<<addr.PageShift) + addr.PA(idx%512*pte.Bytes)
+}
+
+func (t *Table) pmdPA(r *region, v addr.VPN) addr.PA {
+	return addr.PA(uint64(r.pmdBase)<<addr.PageShift) + addr.PA(uint64(v)>>9%512*pte.Bytes)
+}
+
+// Release returns every table allocation — the upper fold, folded leaf
+// regions, and radix-fallback pieces — to the allocator (process exit).
+func (t *Table) Release() {
+	upperOrder := 0
+	if t.upperFolded {
+		upperOrder = foldOrder
+	}
+	t.mem.Free(t.upperBase, upperOrder)
+	for _, r := range t.regions {
+		if r.folded {
+			t.mem.Free(r.base, foldOrder)
+			continue
+		}
+		if r.pmdBase != 0 {
+			t.mem.Free(r.pmdBase, 0)
+		}
+		for _, leaf := range r.leafPages {
+			t.mem.Free(leaf, 0)
+		}
+	}
+	t.regions = map[uint64]*region{}
+	t.entries = map[addr.VPN]pte.Entry{}
+}
+
+// Walker is the FPT hardware walker with a PWC over folded upper entries.
+type Walker struct {
+	tables map[uint16]*Table
+	upper  *mmu.PWC
+}
+
+// NewWalker creates the walker (32-entry upper PWC, as radix's per-level
+// size in Table 1).
+func NewWalker() *Walker {
+	return &Walker{tables: make(map[uint16]*Table), upper: mmu.NewPWC("fpt-upper", 32)}
+}
+
+// Attach registers a table under an ASID.
+func (w *Walker) Attach(asid uint16, t *Table) { w.tables[asid] = t }
+
+// Detach removes a process's table and flushes its PWC entries.
+func (w *Walker) Detach(asid uint16) {
+	delete(w.tables, asid)
+	w.upper.FlushASID(asid)
+}
+
+// Name implements mmu.Walker.
+func (w *Walker) Name() string { return "fpt" }
+
+// Walk implements mmu.Walker: folded regions take two sequential accesses
+// (one with a PWC hit); unfolded regions behave like radix (four cold,
+// PWC-trimmed warm).
+func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	t, ok := w.tables[asid]
+	if !ok {
+		return mmu.Outcome{}
+	}
+	out := mmu.Outcome{WalkCacheCycles: mmu.StepCycles}
+	r := t.regionFor(v)
+
+	upperHit := w.upper.Lookup(asid, uint64(v)>>upperIndexBits)
+	if !upperHit {
+		out.Groups = append(out.Groups, []addr.PA{t.upperPA(v)})
+		w.upper.Insert(asid, uint64(v)>>upperIndexBits)
+	}
+	if r.folded && t.upperFolded {
+		out.Groups = append(out.Groups, []addr.PA{t.leafPA(r, v)})
+	} else {
+		// Radix fallback inside this region: PMD then PTE (the upper
+		// covered L4+L3 equivalents).
+		out.Groups = append(out.Groups, []addr.PA{t.pmdPA(r, v)}, []addr.PA{t.leafPA(r, v)})
+	}
+	e, found := t.Lookup(v)
+	out.Entry, out.Found = e, found
+	return out
+}
+
+var _ mmu.Walker = (*Walker)(nil)

@@ -1,0 +1,84 @@
+package hashpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/pte"
+)
+
+// TestQuickInsertLookupOracle: random keys against a ground-truth map; every
+// inserted key must be found with its exact entry and bounded probes.
+func TestQuickInsertLookupOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tb := New(4096, DefaultLoadFactor)
+	oracle := map[addr.VPN]pte.Entry{}
+	for len(oracle) < 4096 {
+		v := addr.VPN(rng.Int63n(1 << 30))
+		if _, dup := oracle[v]; dup {
+			continue
+		}
+		e := pte.New(addr.PPN(len(oracle)+1), addr.Page4K)
+		if _, err := tb.Insert(v, e); err != nil {
+			t.Fatalf("insert %d of 4096: %v", len(oracle), err)
+		}
+		oracle[v] = e
+	}
+	for v, want := range oracle {
+		got, probes, ok := tb.Lookup(v)
+		if !ok || got != want {
+			t.Fatalf("VPN %#x: got (%v,%t) want %v", uint64(v), got, ok, want)
+		}
+		if probes < 1 || probes > tb.Slots() {
+			t.Fatalf("VPN %#x: nonsensical probe count %d", uint64(v), probes)
+		}
+	}
+	// And absent keys must miss.
+	for i := 0; i < 1000; i++ {
+		v := addr.VPN(rng.Int63n(1<<30)) | 1<<40
+		if _, _, ok := tb.Lookup(v); ok {
+			t.Fatalf("phantom key %#x found", uint64(v))
+		}
+	}
+}
+
+// TestCollisionRateMonotoneInLoad: the §7.3 comparison depends on collision
+// probability growing with the load factor; verify the open-addressing
+// model behaves that way.
+func TestCollisionRateMonotoneInLoad(t *testing.T) {
+	rate := func(load float64) float64 {
+		tb := New(8192, load)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 8192; i++ {
+			if _, err := tb.Insert(addr.VPN(rng.Int63n(1<<40)), pte.New(addr.PPN(i+1), addr.Page4K)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tb.CollisionRate()
+	}
+	sparse, dense := rate(0.3), rate(0.8)
+	if sparse >= dense {
+		t.Errorf("collision rate not monotone in load: %.3f @0.3 vs %.3f @0.8", sparse, dense)
+	}
+	// The rate averages over the whole fill (mean occupancy ≈ final/2).
+	if dense < 0.15 {
+		t.Errorf("load 0.8 collision rate %.3f implausibly low", dense)
+	}
+}
+
+// TestInsertBeyondCapacityFails: a full table must reject cleanly rather
+// than loop forever probing.
+func TestInsertBeyondCapacityFails(t *testing.T) {
+	tb := New(8, 0.9)
+	var failed bool
+	for i := 0; i < tb.Slots()+8; i++ {
+		if _, err := tb.Insert(addr.VPN(i*1000+7), pte.New(addr.PPN(i+1), addr.Page4K)); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Error("insertions past capacity never failed")
+	}
+}

@@ -1,0 +1,86 @@
+package hashpt
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/pte"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tb := New(100, DefaultLoadFactor)
+	if _, err := tb.Insert(139, pte.New(0xff, addr.Page4K)); err != nil {
+		t.Fatal(err)
+	}
+	e, probes, ok := tb.Lookup(139)
+	if !ok || e.PPN() != 0xff {
+		t.Fatalf("lookup failed: ok=%t", ok)
+	}
+	if probes < 1 {
+		t.Errorf("probes = %d", probes)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tb := New(100, DefaultLoadFactor)
+	tb.Insert(5, pte.New(1, addr.Page4K))
+	tb.Insert(5, pte.New(2, addr.Page4K))
+	if e, _, _ := tb.Lookup(5); e.PPN() != 2 {
+		t.Error("overwrite failed")
+	}
+}
+
+func TestHugePageLookup(t *testing.T) {
+	tb := New(100, DefaultLoadFactor)
+	tb.Insert(1024, pte.New(512, addr.Page2M))
+	if e, _, ok := tb.Lookup(1300); !ok || e.Size() != addr.Page2M {
+		t.Error("huge lookup failed")
+	}
+}
+
+func TestLoadFactorSizing(t *testing.T) {
+	tb := New(600, 0.6)
+	if got := tb.Slots(); got != 1024 {
+		t.Errorf("slots = %d want 1024", got)
+	}
+	for i := 0; i < 600; i++ {
+		if _, err := tb.Insert(addr.VPN(i*7+1), pte.New(addr.PPN(i+1), addr.Page4K)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lf := tb.LoadFactor()
+	if lf < 0.55 || lf > 0.62 {
+		t.Errorf("load factor = %v", lf)
+	}
+}
+
+func TestCollisionRateBallpark(t *testing.T) {
+	// With sequential VPNs and a strong hash at load 0.6, the collision
+	// rate should be substantial — the paper reports ~22%. Expect the
+	// birthday-style regime: well above LVM's <1%, below 50%.
+	tb := New(20000, 0.6)
+	for i := 0; i < 20000; i++ {
+		tb.Insert(addr.VPN(0x10000+i), pte.New(addr.PPN(i+1), addr.Page4K))
+	}
+	cr := tb.CollisionRate()
+	if cr < 0.10 || cr > 0.45 {
+		t.Errorf("hash collision rate = %.3f, expected ~0.2 regime", cr)
+	}
+}
+
+func TestMissOnEmptySlotChain(t *testing.T) {
+	tb := New(100, DefaultLoadFactor)
+	tb.Insert(1, pte.New(1, addr.Page4K))
+	if _, _, ok := tb.Lookup(2); ok {
+		t.Error("miss reported as hit")
+	}
+}
+
+func TestBadLoadFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(10, 1.5)
+}

@@ -1,0 +1,54 @@
+package hwarea
+
+import "testing"
+
+// TestAreaAndLeakageMonotoneInEntries: the SRAM/CAM model must charge more
+// area and leakage for more entries — the basis of §7.3's argument that
+// radix PWCs scale linearly with footprint while the LWC stays fixed.
+func TestAreaAndLeakageMonotoneInEntries(t *testing.T) {
+	prevA, prevL := 0.0, 0.0
+	for _, n := range []int{8, 16, 64, 256} {
+		s := LWC(n)
+		if a := s.AreaMM2(); a <= prevA {
+			t.Errorf("LWC(%d) area %.5f not above smaller config %.5f", n, a, prevA)
+		} else {
+			prevA = a
+		}
+		if l := s.LeakageMW(); l <= prevL {
+			t.Errorf("LWC(%d) leakage %.4f not above smaller config %.4f", n, l, prevL)
+		} else {
+			prevL = l
+		}
+	}
+}
+
+// TestCAMTagsCostMoreThanRAMTags: a fully associative structure (CAM match
+// lines) must cost more per tag bit than a set-associative one (RAM tags) —
+// otherwise the §7.4 comparison between the LWC and banked PWCs is
+// meaningless.
+func TestCAMTagsCostMoreThanRAMTags(t *testing.T) {
+	cam := Structure{Name: "cam", Arrays: 1, EntriesPerArray: 64, RAMBitsPerEntry: 64, CAMBitsPerEntry: 46}
+	ram := cam
+	ram.SetAssocTags = true
+	if cam.AreaMM2() <= ram.AreaMM2() {
+		t.Errorf("CAM tags (%.6f mm²) not above RAM tags (%.6f mm²)", cam.AreaMM2(), ram.AreaMM2())
+	}
+	if cam.LeakageMW() <= ram.LeakageMW() {
+		t.Errorf("CAM leakage (%.4f) not above RAM leakage (%.4f)", cam.LeakageMW(), ram.LeakageMW())
+	}
+}
+
+// TestBankPeripheryCharged: splitting the same capacity across more arrays
+// must cost additional periphery area (the PWC's per-level banks are not
+// free).
+func TestBankPeripheryCharged(t *testing.T) {
+	mono := Structure{Name: "mono", Arrays: 1, EntriesPerArray: 96, RAMBitsPerEntry: 64, CAMBitsPerEntry: 46, SetAssocTags: true}
+	banked := Structure{Name: "banked", Arrays: 3, EntriesPerArray: 32, RAMBitsPerEntry: 64, CAMBitsPerEntry: 46, SetAssocTags: true}
+	if banked.Entries() != mono.Entries() || banked.SizeBytes() != mono.SizeBytes() {
+		t.Fatal("test structures must hold identical capacity")
+	}
+	if banked.AreaMM2() <= mono.AreaMM2() {
+		t.Errorf("3-bank layout (%.6f mm²) not above monolithic (%.6f mm²)",
+			banked.AreaMM2(), mono.AreaMM2())
+	}
+}

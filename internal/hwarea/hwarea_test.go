@@ -1,0 +1,61 @@
+package hwarea
+
+import "testing"
+
+func TestLWCMatchesPaper(t *testing.T) {
+	l := LWC(16)
+	// §7.4: LWC area 0.00364 mm², leakage 0.588 mW. The analytic model
+	// must land within 15% of both.
+	if a := l.AreaMM2(); a < 0.0031 || a > 0.0042 {
+		t.Errorf("LWC area = %.5f mm², paper 0.00364", a)
+	}
+	if p := l.LeakageMW(); p < 0.50 || p > 0.68 {
+		t.Errorf("LWC leakage = %.3f mW, paper 0.588", p)
+	}
+	if l.DataBytes() != 256 {
+		t.Errorf("LWC payload = %d bytes, want 16×16", l.DataBytes())
+	}
+}
+
+func TestWalkerDatapath(t *testing.T) {
+	// §7.4: a single LVM page walker needs 0.000637 mm².
+	a := WalkerDatapathMM2()
+	if a < 0.00055 || a > 0.00072 {
+		t.Errorf("walker area = %.6f mm², paper 0.000637", a)
+	}
+}
+
+func TestComparisonRatiosShape(t *testing.T) {
+	c := Compare()
+	// §7.4: 3.0× size, 1.5× area, 1.9× power improvements for LVM. The
+	// shape requirements: all ratios > 1 (radix costs more), size ratio
+	// ≈ 3, area ratio smallest (periphery-dominated), power between.
+	if c.SizeX < 2.5 || c.SizeX > 3.5 {
+		t.Errorf("size ratio = %.2f, paper 3.0", c.SizeX)
+	}
+	if c.AreaX < 1.2 || c.AreaX > 2.3 {
+		t.Errorf("area ratio = %.2f, paper 1.5", c.AreaX)
+	}
+	if c.PowerX < 1.5 || c.PowerX > 2.5 {
+		t.Errorf("power ratio = %.2f, paper 1.9", c.PowerX)
+	}
+	if !(c.AreaX < c.PowerX && c.PowerX < c.SizeX+0.8) {
+		t.Errorf("ratio ordering off: area %.2f power %.2f size %.2f", c.AreaX, c.PowerX, c.SizeX)
+	}
+}
+
+func TestStructureAccounting(t *testing.T) {
+	s := Structure{Arrays: 2, EntriesPerArray: 4, RAMBitsPerEntry: 64, CAMBitsPerEntry: 16}
+	if s.Entries() != 8 {
+		t.Errorf("entries = %d", s.Entries())
+	}
+	if s.SizeBytes() != 8*80/8 {
+		t.Errorf("size = %d", s.SizeBytes())
+	}
+	if s.DataBytes() != 64 {
+		t.Errorf("data = %d", s.DataBytes())
+	}
+	if s.AreaMM2() <= 0 || s.LeakageMW() <= 0 {
+		t.Error("non-positive physicals")
+	}
+}

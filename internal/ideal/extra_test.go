@@ -1,0 +1,88 @@
+package ideal
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+// TestSlotPAsDenseAndUniquePerSize: within one page size, the per-granule
+// slot layout must give distinct, densely packed slot addresses inside the
+// table block — that density (sequential VPNs sharing cache lines) is what
+// makes the ideal baseline's cache behaviour realistic.
+func TestSlotPAsDenseAndUniquePerSize(t *testing.T) {
+	tb, err := New(phys.New(128<<20), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := addr.PA(uint64(tb.base) << addr.PageShift)
+	hi := lo + addr.PA(tb.slots*pte.Bytes)
+	for _, size := range []addr.PageSize{addr.Page4K, addr.Page2M} {
+		seen := map[addr.PA]addr.VPN{}
+		for i := 0; i < 2000; i++ {
+			v := addr.VPN(uint64(i) * size.BaseVPNs())
+			pa := tb.entryPA(v, size)
+			if pa < lo || pa >= hi {
+				t.Fatalf("%v slot %#x outside table block [%#x,%#x)", size, uint64(pa), uint64(lo), uint64(hi))
+			}
+			if prev, dup := seen[pa]; dup {
+				t.Fatalf("%v slot PA %#x shared by VPN %#x and %#x", size, uint64(pa), uint64(prev), uint64(v))
+			}
+			seen[pa] = v
+		}
+		// Dense: consecutive granules land 8 bytes apart.
+		if d := tb.entryPA(addr.VPN(size.BaseVPNs()), size) - tb.entryPA(0, size); d != pte.Bytes {
+			t.Errorf("%v: consecutive granules %d bytes apart, want %d", size, d, pte.Bytes)
+		}
+	}
+}
+
+// TestWalkAlwaysOneRef: the ideal baseline's defining property (Fig. 9/11's
+// upper bound) — every translation costs exactly one memory request, hit or
+// miss, 4K or 2M.
+func TestWalkAlwaysOneRef(t *testing.T) {
+	tb, err := New(phys.New(128<<20), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Map(100, pte.New(1, addr.Page4K))
+	tb.Map(512*7, pte.New(512, addr.Page2M))
+	w := NewWalker()
+	w.Attach(1, tb)
+	for _, v := range []addr.VPN{100, 512*7 + 300, 99999} {
+		out := w.Walk(1, v)
+		if out.Refs() != 1 {
+			t.Errorf("VPN %d: %d refs, ideal must always use 1", v, out.Refs())
+		}
+	}
+	if out := w.Walk(1, 100); !out.Found {
+		t.Error("mapped page missed")
+	}
+	if out := w.Walk(1, 99999); out.Found {
+		t.Error("unmapped page found")
+	}
+}
+
+// TestUnmapExact: unmap removes precisely one translation.
+func TestUnmapExact(t *testing.T) {
+	tb, err := New(phys.New(128<<20), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Map(10, pte.New(1, addr.Page4K))
+	tb.Map(11, pte.New(2, addr.Page4K))
+	if !tb.Unmap(10) {
+		t.Fatal("unmap failed")
+	}
+	if tb.Unmap(10) {
+		t.Error("double unmap succeeded")
+	}
+	if _, ok := tb.Lookup(10); ok {
+		t.Error("unmapped VPN still found")
+	}
+	if _, ok := tb.Lookup(11); !ok {
+		t.Error("neighbour lost")
+	}
+}

@@ -1,0 +1,223 @@
+// Package mmu defines the hardware page-walker interface shared by every
+// translation scheme, plus the walk-cache building blocks: the radix page
+// walk cache (PWC) and LVM's walk cache (LWC, paper §4.6.2 / Fig. 8).
+//
+// A Walker turns an L2-TLB miss into a sequence of memory requests. The
+// simulator charges each request to the cache hierarchy; requests within a
+// group are issued in parallel (ECPT's probes), groups are sequential
+// (radix's pointer chase, LVM's node fetches).
+package mmu
+
+import (
+	"lvm/internal/addr"
+	"lvm/internal/pte"
+	"lvm/internal/stats"
+)
+
+// Outcome is the trace of one hardware page walk.
+type Outcome struct {
+	Entry pte.Entry
+	Found bool
+	// Groups holds the memory requests: groups are sequential, requests
+	// within one group are issued in parallel.
+	Groups [][]addr.PA
+	// WalkCacheCycles is the time spent in walk-cache lookups and model
+	// computation (2 cycles per step in Table 1).
+	WalkCacheCycles int
+}
+
+// Refs returns the total number of memory requests — the page-walk-traffic
+// metric of Figure 11.
+func (o Outcome) Refs() int {
+	n := 0
+	for _, g := range o.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// Latency is a helper for tests: sequential sum over groups of the max of a
+// fixed per-request latency.
+func (o Outcome) Latency(perRef, walkCache int) int {
+	total := o.WalkCacheCycles * walkCache
+	for _, g := range o.Groups {
+		if len(g) > 0 {
+			total += perRef
+		}
+	}
+	return total
+}
+
+// Walker is a hardware page table walker.
+type Walker interface {
+	// Name identifies the scheme ("radix", "ecpt", "lvm", ...).
+	Name() string
+	// Walk translates v in address space asid.
+	Walk(asid uint16, v addr.VPN) Outcome
+}
+
+// StepCycles is the walk-cache lookup / model-computation latency per step
+// (Table 1: 2 cycles for PWC, CWC and LWC).
+const StepCycles = 2
+
+// --- LVM walk cache -------------------------------------------------------
+
+// LWCEntry is one cached learned-index node (Fig. 8): the 16-byte model
+// plus its (ASID, level, offset) identity.
+type lwcEntry struct {
+	valid  bool
+	asid   uint16
+	level  int
+	offset int
+}
+
+// LWC is LVM's fully associative walk cache. Per §4.6.2 it stores
+// individual models on demand, is ASID-tagged (no flush on context switch),
+// and is flushed per-entry only when the OS retrains a node.
+type LWC struct {
+	entries []lwcEntry // most-recent-first
+
+	hits, misses stats.Counter
+}
+
+// NewLWC creates an LWC with the given entry count (Table 1: 16).
+func NewLWC(entries int) *LWC {
+	return &LWC{entries: make([]lwcEntry, 0, entries)}
+}
+
+// Lookup probes for a node; on hit the entry moves to MRU.
+func (c *LWC) Lookup(asid uint16, level, offset int) bool {
+	for i, e := range c.entries {
+		if e.valid && e.asid == asid && e.level == level && e.offset == offset {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			c.hits.Inc()
+			return true
+		}
+	}
+	c.misses.Inc()
+	return false
+}
+
+// Insert caches a node fetched from memory, evicting the LRU entry.
+func (c *LWC) Insert(asid uint16, level, offset int) {
+	e := lwcEntry{valid: true, asid: asid, level: level, offset: offset}
+	if len(c.entries) < cap(c.entries) {
+		c.entries = append(c.entries, lwcEntry{})
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = e
+}
+
+// FlushNode drops one node (the OS does this after retraining, §5.2).
+func (c *LWC) FlushNode(asid uint16, level, offset int) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.asid == asid && e.level == level && e.offset == offset {
+			e.valid = false
+		}
+	}
+}
+
+// FlushASID drops all nodes of one address space (used on index rebuild).
+func (c *LWC) FlushASID(asid uint16) {
+	for i := range c.entries {
+		if c.entries[i].asid == asid {
+			c.entries[i].valid = false
+		}
+	}
+}
+
+// HitRate returns hits / lookups.
+func (c *LWC) HitRate() float64 {
+	return stats.Ratio(c.hits.Value(), c.hits.Value()+c.misses.Value())
+}
+
+// Hits returns the hit count.
+func (c *LWC) Hits() uint64 { return c.hits.Value() }
+
+// Misses returns the miss count.
+func (c *LWC) Misses() uint64 { return c.misses.Value() }
+
+// SizeBytes returns the SRAM capacity implied by the configuration: 16
+// bytes of model per entry (plus tags, accounted in internal/hwarea).
+func (c *LWC) SizeBytes() int { return cap(c.entries) * 16 }
+
+// --- Radix page walk cache -------------------------------------------------
+
+// PWC is one level of a radix page walk cache: a fully associative cache of
+// upper-level entries keyed by the VPN prefix that indexes that level.
+type PWC struct {
+	name    string
+	entries []pwcEntry
+
+	hits, misses stats.Counter
+}
+
+type pwcEntry struct {
+	valid  bool
+	asid   uint16
+	prefix uint64
+}
+
+// NewPWC creates one PWC level with the given capacity (Table 1: 32
+// entries per level, 3 levels).
+func NewPWC(name string, entries int) *PWC {
+	return &PWC{name: name, entries: make([]pwcEntry, 0, entries)}
+}
+
+// Lookup probes for the upper-level entry covering the VPN prefix.
+func (c *PWC) Lookup(asid uint16, prefix uint64) bool {
+	for i, e := range c.entries {
+		if e.valid && e.asid == asid && e.prefix == prefix {
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			c.hits.Inc()
+			return true
+		}
+	}
+	c.misses.Inc()
+	return false
+}
+
+// Insert caches an upper-level entry.
+func (c *PWC) Insert(asid uint16, prefix uint64) {
+	e := pwcEntry{valid: true, asid: asid, prefix: prefix}
+	if len(c.entries) < cap(c.entries) {
+		c.entries = append(c.entries, pwcEntry{})
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = e
+}
+
+// Invalidate drops one prefix (on unmap of upper-level structures).
+func (c *PWC) Invalidate(asid uint16, prefix uint64) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.asid == asid && e.prefix == prefix {
+			e.valid = false
+		}
+	}
+}
+
+// FlushASID drops all entries of one address space (process exit).
+func (c *PWC) FlushASID(asid uint16) {
+	for i := range c.entries {
+		if c.entries[i].asid == asid {
+			c.entries[i].valid = false
+		}
+	}
+}
+
+// HitRate returns hits / lookups.
+func (c *PWC) HitRate() float64 {
+	return stats.Ratio(c.hits.Value(), c.hits.Value()+c.misses.Value())
+}
+
+// MissRate returns misses / lookups.
+func (c *PWC) MissRate() float64 {
+	return stats.Ratio(c.misses.Value(), c.hits.Value()+c.misses.Value())
+}
+
+// Name returns the level label ("pml4e", "pdpte", "pde").
+func (c *PWC) Name() string { return c.name }

@@ -1,0 +1,113 @@
+package mmu
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+)
+
+func TestOutcomeRefs(t *testing.T) {
+	o := Outcome{Groups: [][]addr.PA{{1}, {2, 3, 4}}}
+	if o.Refs() != 4 {
+		t.Errorf("refs = %d", o.Refs())
+	}
+}
+
+func TestLWCHitMiss(t *testing.T) {
+	c := NewLWC(16)
+	if c.Lookup(1, 1, 0) {
+		t.Fatal("empty LWC hit")
+	}
+	c.Insert(1, 1, 0)
+	if !c.Lookup(1, 1, 0) {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestLWCASIDTagging(t *testing.T) {
+	c := NewLWC(16)
+	c.Insert(1, 1, 0)
+	if c.Lookup(2, 1, 0) {
+		t.Error("LWC leaked across ASIDs: context switch safety broken")
+	}
+	if !c.Lookup(1, 1, 0) {
+		t.Error("original ASID lost — no flush should be needed on context switch")
+	}
+}
+
+func TestLWCEviction(t *testing.T) {
+	c := NewLWC(4)
+	for i := 0; i < 4; i++ {
+		c.Insert(1, 2, i)
+	}
+	c.Lookup(1, 2, 0) // make node 0 MRU
+	c.Insert(1, 2, 9) // evicts LRU (node 1)
+	if !c.Lookup(1, 2, 0) {
+		t.Error("MRU node evicted")
+	}
+	if c.Lookup(1, 2, 1) {
+		t.Error("LRU node survived")
+	}
+}
+
+func TestLWCFlushNode(t *testing.T) {
+	c := NewLWC(16)
+	c.Insert(1, 1, 0)
+	c.Insert(1, 2, 3)
+	c.FlushNode(1, 2, 3)
+	if c.Lookup(1, 2, 3) {
+		t.Error("flushed node hit (stale model after retrain)")
+	}
+	if !c.Lookup(1, 1, 0) {
+		t.Error("unrelated node flushed")
+	}
+}
+
+func TestLWCFlushASID(t *testing.T) {
+	c := NewLWC(16)
+	c.Insert(1, 1, 0)
+	c.Insert(2, 1, 0)
+	c.FlushASID(1)
+	if c.Lookup(1, 1, 0) {
+		t.Error("ASID flush failed")
+	}
+	if !c.Lookup(2, 1, 0) {
+		t.Error("other ASID flushed")
+	}
+}
+
+func TestLWCSizeBytes(t *testing.T) {
+	if got := NewLWC(16).SizeBytes(); got != 256 {
+		t.Errorf("16-entry LWC = %d bytes, want 256 (16×16B models)", got)
+	}
+}
+
+func TestPWC(t *testing.T) {
+	c := NewPWC("pde", 32)
+	if c.Lookup(1, 0x123) {
+		t.Fatal("empty PWC hit")
+	}
+	c.Insert(1, 0x123)
+	if !c.Lookup(1, 0x123) {
+		t.Fatal("miss after insert")
+	}
+	if c.Lookup(2, 0x123) {
+		t.Error("PWC leaked across ASIDs")
+	}
+	c.Invalidate(1, 0x123)
+	if c.Lookup(1, 0x123) {
+		t.Error("invalidated prefix hit")
+	}
+	if c.Name() != "pde" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if c.MissRate()+c.HitRate() != 1 {
+		t.Errorf("rates do not sum to 1: %v + %v", c.MissRate(), c.HitRate())
+	}
+}

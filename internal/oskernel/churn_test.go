@@ -1,0 +1,186 @@
+package oskernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/vas"
+)
+
+// oracle tracks the ground-truth mapped set for one process during churn.
+type oracle map[addr.VPN]bool
+
+func oracleFrom(space *vas.AddressSpace) oracle {
+	o := oracle{}
+	for _, r := range space.Regions {
+		for _, v := range r.Mapped {
+			o[v] = true
+		}
+	}
+	return o
+}
+
+// TestChurnOracleAllSchemes drives every scheme through thousands of
+// interleaved map/unmap operations against two co-resident processes and
+// checks the software tables and the hardware walker against a ground-truth
+// map after every phase. This is the integration-level equivalent of the
+// per-structure quick tests: it exercises LVM's insert/free/retrain paths,
+// ECPT's cuckoo displacement and resize, and radix's table allocation all
+// through the one interface the OS actually uses.
+func TestChurnOracleAllSchemes(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		t.Run(string(scheme), func(t *testing.T) {
+			mem := phys.New(512 << 20)
+			sys := NewSystem(mem, scheme)
+			procs := map[uint16]oracle{}
+			heaps := map[uint16]*vas.Region{}
+			for _, asid := range []uint16{1, 2} {
+				space := smallSpace(int64(asid) * 11)
+				if _, err := sys.Launch(asid, space, false); err != nil {
+					t.Fatalf("launch %d: %v", asid, err)
+				}
+				procs[asid] = oracleFrom(space)
+				heaps[asid] = heapOf(space)
+			}
+
+			rng := rand.New(rand.NewSource(99))
+			for op := 0; op < 4000; op++ {
+				asid := uint16(1 + rng.Intn(2))
+				o, heap := procs[asid], heaps[asid]
+				v := heap.Base + addr.VPN(rng.Intn(heap.Span))
+				switch {
+				case rng.Intn(3) == 0 && o[v]: // unmap a mapped page
+					if !sys.UnmapPage(asid, v) {
+						t.Fatalf("op %d: unmap of mapped %#x failed", op, uint64(v))
+					}
+					delete(o, v)
+				case !o[v]: // map a hole
+					if err := sys.MapPage(asid, v, addr.Page4K); err != nil {
+						t.Fatalf("op %d: map %#x: %v", op, uint64(v), err)
+					}
+					o[v] = true
+				default: // lookup an existing page mid-churn
+					if _, ok := sys.SoftwareLookup(asid, v); !ok {
+						t.Fatalf("op %d: mapped %#x not found mid-churn", op, uint64(v))
+					}
+				}
+			}
+
+			// Full reconciliation: software tables, hardware walker, and
+			// oracle must agree exactly — presence and absence.
+			w := sys.Walker()
+			for asid, o := range procs {
+				heap := heaps[asid]
+				for i := 0; i < heap.Span; i += 7 {
+					v := heap.Base + addr.VPN(i)
+					sw, okSW := sys.SoftwareLookup(asid, v)
+					hw := w.Walk(asid, v)
+					if o[v] != okSW {
+						t.Fatalf("asid %d VPN %#x: oracle=%t software=%t",
+							asid, uint64(v), o[v], okSW)
+					}
+					if o[v] != hw.Found {
+						t.Fatalf("asid %d VPN %#x: oracle=%t hardware=%t",
+							asid, uint64(v), o[v], hw.Found)
+					}
+					if okSW && hw.Entry != sw {
+						t.Fatalf("asid %d VPN %#x: hw entry %v != sw entry %v",
+							asid, uint64(v), hw.Entry, sw)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChurnIsolationBetweenProcesses maps pages into one address space and
+// verifies the other ASID never observes them, even when both heaps occupy
+// overlapping virtual ranges.
+func TestChurnIsolationBetweenProcesses(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		mem := phys.New(256 << 20)
+		sys := NewSystem(mem, scheme)
+		space1 := smallSpace(3)
+		space2 := smallSpace(3) // same seed: identical virtual layout
+		if _, err := sys.Launch(1, space1, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Launch(2, space2, false); err != nil {
+			t.Fatal(err)
+		}
+		heap := heapOf(space1)
+		// Unmap a page from process 2 only; process 1 must still see it.
+		v := heap.Mapped[len(heap.Mapped)/2]
+		if !sys.UnmapPage(2, v) {
+			t.Fatalf("%s: unmap in asid 2 failed", scheme)
+		}
+		if _, ok := sys.SoftwareLookup(1, v); !ok {
+			t.Fatalf("%s: unmap in asid 2 removed asid 1's page", scheme)
+		}
+		if _, ok := sys.SoftwareLookup(2, v); ok {
+			t.Fatalf("%s: asid 2 still sees unmapped page", scheme)
+		}
+		w := sys.Walker()
+		if out := w.Walk(1, v); !out.Found {
+			t.Fatalf("%s: hardware walk lost asid 1's page", scheme)
+		}
+		if out := w.Walk(2, v); out.Found {
+			t.Fatalf("%s: hardware walk found asid 2's unmapped page", scheme)
+		}
+	}
+}
+
+// TestLaunchOutOfMemory verifies that every scheme fails cleanly — an
+// error, not a panic or a partial table — when physical memory cannot hold
+// the address space.
+func TestLaunchOutOfMemory(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		mem := phys.New(1 << 20) // 1 MB: far too small for smallSpace
+		sys := NewSystem(mem, scheme)
+		if _, err := sys.Launch(1, smallSpace(5), false); err == nil {
+			t.Errorf("%s: launch into 1MB memory succeeded", scheme)
+		}
+	}
+}
+
+// TestMapPageOutOfMemory fills memory with mappings until allocation fails
+// and verifies the failure is a clean error with the tables still
+// consistent for everything mapped before exhaustion.
+func TestMapPageOutOfMemory(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		mem := phys.New(32 << 20)
+		sys := NewSystem(mem, scheme)
+		cfg := vas.DefaultConfig()
+		cfg.HeapPages = 512
+		cfg.MmapRegions = 1
+		cfg.MmapPages = 128
+		space := vas.Generate(cfg, 5)
+		if _, err := sys.Launch(1, space, false); err != nil {
+			t.Fatalf("%s: launch: %v", scheme, err)
+		}
+		heap := heapOf(space)
+		var lastMapped []addr.VPN
+		exhausted := false
+		for i := 0; i < 1<<20; i++ {
+			v := heap.Base + addr.VPN(heap.Span+i)
+			if err := sys.MapPage(1, v, addr.Page4K); err != nil {
+				exhausted = true
+				break
+			}
+			if len(lastMapped) < 64 {
+				lastMapped = append(lastMapped, v)
+			}
+		}
+		if !exhausted {
+			t.Fatalf("%s: never exhausted 32MB of memory", scheme)
+		}
+		for _, v := range lastMapped {
+			if _, ok := sys.SoftwareLookup(1, v); !ok {
+				t.Errorf("%s: pre-exhaustion mapping %#x lost", scheme, uint64(v))
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package oskernel
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+	"lvm/internal/pte"
+)
+
+// TestProtectSetAndClear: Protect must raise and drop permission bits for
+// every scheme, visible through both the software walk and the hardware
+// walker, without disturbing the PPN or page size.
+func TestProtectSetAndClear(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		sys, p := launch(t, scheme, false)
+		v := heapOf(p.Space).Mapped[3]
+		orig, ok := sys.SoftwareLookup(1, v)
+		if !ok {
+			t.Fatalf("%s: page not mapped", scheme)
+		}
+
+		if !sys.Protect(1, v, pte.FlagWritable|pte.FlagDirty, 0) {
+			t.Fatalf("%s: protect failed", scheme)
+		}
+		e, ok := sys.SoftwareLookup(1, v)
+		if !ok || !e.Dirty() || e&pte.FlagWritable == 0 {
+			t.Fatalf("%s: flags not set: %v", scheme, e)
+		}
+		if e.PPN() != orig.PPN() || e.Size() != orig.Size() {
+			t.Fatalf("%s: protect corrupted translation: %v -> %v", scheme, orig, e)
+		}
+
+		if !sys.Protect(1, v, 0, pte.FlagWritable) {
+			t.Fatalf("%s: clear failed", scheme)
+		}
+		e, _ = sys.SoftwareLookup(1, v)
+		if e&pte.FlagWritable != 0 {
+			t.Fatalf("%s: writable bit survived clear", scheme)
+		}
+		if !e.Dirty() {
+			t.Fatalf("%s: clear dropped an unrelated bit", scheme)
+		}
+
+		// The hardware walker observes the updated entry (the OS modified
+		// the PTE in place; no table was moved).
+		if out := sys.Walker().Walk(1, v); !out.Found || out.Entry != e {
+			t.Fatalf("%s: hardware walk sees %v, software %v", scheme, out.Entry, e)
+		}
+	}
+}
+
+// TestProtectMasksDangerousBits: attempts to flip Present, size, or PPN
+// bits through Protect must be ignored entirely.
+func TestProtectMasksDangerousBits(t *testing.T) {
+	sys, p := launch(t, SchemeLVM, false)
+	v := heapOf(p.Space).Mapped[0]
+	orig, _ := sys.SoftwareLookup(1, v)
+	if !sys.Protect(1, v, ^pte.Entry(0)&^ProtectableFlags, 0) {
+		t.Fatal("no-op protect reported failure")
+	}
+	e, ok := sys.SoftwareLookup(1, v)
+	if !ok || e != orig {
+		t.Fatalf("dangerous set leaked through the mask: %v -> %v", orig, e)
+	}
+	if sys.Protect(1, v, 0, pte.FlagPresent) {
+		e, ok = sys.SoftwareLookup(1, v)
+		if !ok || !e.Present() {
+			t.Fatal("clear of Present leaked through the mask")
+		}
+	}
+}
+
+// TestProtectUnmapped: Protect on a hole or an unknown ASID returns false.
+func TestProtectUnmapped(t *testing.T) {
+	mem := phys.New(256 << 20)
+	sys := NewSystem(mem, SchemeRadix)
+	space := smallSpace(9)
+	if _, err := sys.Launch(1, space, false); err != nil {
+		t.Fatal(err)
+	}
+	heap := heapOf(space)
+	hole := heap.Base + addr.VPN(heap.Span) + 100
+	if sys.Protect(1, hole, pte.FlagWritable, 0) {
+		t.Error("protect of unmapped page succeeded")
+	}
+	if sys.Protect(9, heap.Mapped[0], pte.FlagWritable, 0) {
+		t.Error("protect under unknown ASID succeeded")
+	}
+}
+
+// TestProtectHugePage: flag changes on a 2 MB mapping apply to the whole
+// huge page — any interior VPN addresses the same entry.
+func TestProtectHugePage(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		sys, p := launch(t, scheme, true)
+		var huge *pte.Entry
+		var base uint64
+		for _, r := range p.Space.Regions {
+			for _, v := range r.Mapped {
+				if e, ok := sys.SoftwareLookup(1, v); ok && e.Size().BaseVPNs() == 512 {
+					huge, base = &e, uint64(v)
+					break
+				}
+			}
+			if huge != nil {
+				break
+			}
+		}
+		if huge == nil {
+			continue // this layout produced no huge pages for the scheme
+		}
+		interior := base | 137
+		if !sys.Protect(1, addr.VPN(interior), pte.FlagDirty, 0) {
+			t.Fatalf("%s: protect via interior VPN failed", scheme)
+		}
+		e, ok := sys.SoftwareLookup(1, addr.VPN(base))
+		if !ok || !e.Dirty() {
+			t.Fatalf("%s: huge-page base does not see the flag", scheme)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package pte defines the 8-byte page table entry format shared by every
+// scheme in the repository, plus the VPN-tagged entry used by hashed and
+// learned page tables.
+//
+// Radix page tables locate a PTE purely by position, so a bare 8-byte entry
+// suffices. Hashed page tables and LVM's gapped page tables locate entries
+// by (possibly colliding) prediction, so each slot also carries the VPN it
+// maps; the walker fetches the 64-byte cluster containing the slot and
+// validates the tag (paper Fig. 4 step 7).
+package pte
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+)
+
+// Entry is an 8-byte page table entry laid out x86-64 style:
+//
+//	bit 0        present
+//	bit 1        writable
+//	bit 2        user
+//	bit 5        accessed
+//	bit 6        dirty
+//	bits 8-9     page size (00=4K, 01=2M, 10=1G) — LVM's 2-bit encoding (§4.4)
+//	bits 12-51   physical page number (4 KB units)
+type Entry uint64
+
+// Flag bits.
+const (
+	FlagPresent  Entry = 1 << 0
+	FlagWritable Entry = 1 << 1
+	FlagUser     Entry = 1 << 2
+	FlagAccessed Entry = 1 << 5
+	FlagDirty    Entry = 1 << 6
+
+	sizeShift = 8
+	sizeMask  = Entry(0x3) << sizeShift
+
+	ppnShift = 12
+	ppnMask  = Entry((uint64(1)<<40)-1) << ppnShift
+)
+
+// Bytes is the size of an entry: the absolute minimum of eight bytes per
+// translation that §7.3's memory-consumption comparison uses as its floor.
+const Bytes = 8
+
+// New builds a present entry for the given physical page and page size.
+func New(ppn addr.PPN, size addr.PageSize) Entry {
+	e := FlagPresent
+	e |= Entry(size) << sizeShift & sizeMask
+	e |= Entry(ppn) << ppnShift & ppnMask
+	return e
+}
+
+// Present reports whether the entry maps a page.
+func (e Entry) Present() bool { return e&FlagPresent != 0 }
+
+// PPN returns the mapped physical page number.
+func (e Entry) PPN() addr.PPN { return addr.PPN((e & ppnMask) >> ppnShift) }
+
+// Size returns the translation granularity encoded in the two size bits.
+func (e Entry) Size() addr.PageSize { return addr.PageSize((e & sizeMask) >> sizeShift) }
+
+// WithFlags returns the entry with the given flag bits set.
+func (e Entry) WithFlags(flags Entry) Entry { return e | flags }
+
+// ClearFlags returns the entry with the given flag bits cleared.
+func (e Entry) ClearFlags(flags Entry) Entry { return e &^ flags }
+
+// Accessed reports the accessed bit.
+func (e Entry) Accessed() bool { return e&FlagAccessed != 0 }
+
+// Dirty reports the dirty bit.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
+// String implements fmt.Stringer for diagnostics.
+func (e Entry) String() string {
+	if !e.Present() {
+		return "PTE{not present}"
+	}
+	return fmt.Sprintf("PTE{ppn=%#x size=%s a=%t d=%t}", uint64(e.PPN()), e.Size(), e.Accessed(), e.Dirty())
+}
+
+// Tagged is a VPN-tagged slot used in gapped and hashed page tables. The tag
+// stores the base-page VPN the entry maps (for huge pages, the VPN of the
+// first 4 KB sub-page) so the walker can validate a predicted location.
+//
+// Architecturally a slot occupies 8 bytes: the paper's §7.3 memory
+// accounting (gapped tables cost at most 1.3× the 8-byte-per-translation
+// minimum) implies the VPN tag is not a second 8-byte word per slot.
+// Tag bits live at cluster granularity plus the PTE's spare bits, as in
+// clustered hashed page tables (§2.2); this struct keeps the tag explicit
+// for simulation correctness while TaggedBytes models the hardware layout.
+type Tagged struct {
+	Tag   addr.VPN
+	Entry Entry
+}
+
+// TaggedBytes is the architectural footprint of one tagged slot.
+const TaggedBytes = 8
+
+// Valid reports whether the slot holds a live translation.
+func (t Tagged) Valid() bool { return t.Entry.Present() }
+
+// Matches reports whether the slot translates the given lookup VPN, taking
+// huge pages into account: a 2 MB entry tagged with its first sub-page VPN
+// matches any VPN inside its 512-page span (paper §4.4).
+func (t Tagged) Matches(v addr.VPN) bool {
+	if !t.Valid() {
+		return false
+	}
+	return addr.AlignDown(v, t.Entry.Size()) == t.Tag
+}
+
+// ClusterSlots is the number of tagged slots that fit in one 64-byte cache
+// line; the walker fetches whole clusters and checks every tag in the line
+// before declaring a collision.
+const ClusterSlots = 64 / TaggedBytes

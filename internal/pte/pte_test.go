@@ -1,0 +1,109 @@
+package pte
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lvm/internal/addr"
+)
+
+func TestNewRoundTrip(t *testing.T) {
+	e := New(0xff, addr.Page4K)
+	if !e.Present() {
+		t.Fatal("new entry must be present")
+	}
+	if e.PPN() != 0xff {
+		t.Errorf("PPN = %#x", uint64(e.PPN()))
+	}
+	if e.Size() != addr.Page4K {
+		t.Errorf("Size = %s", e.Size())
+	}
+}
+
+func TestSizeEncoding(t *testing.T) {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+		e := New(42, s)
+		if e.Size() != s {
+			t.Errorf("size %s round-trips to %s", s, e.Size())
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	e := New(1, addr.Page4K)
+	e = e.WithFlags(FlagAccessed | FlagDirty | FlagWritable)
+	if !e.Accessed() || !e.Dirty() {
+		t.Error("flags not set")
+	}
+	e = e.ClearFlags(FlagDirty)
+	if e.Dirty() {
+		t.Error("dirty flag not cleared")
+	}
+	if !e.Accessed() {
+		t.Error("accessed flag lost on clear of dirty")
+	}
+	if e.PPN() != 1 {
+		t.Error("flag edits must not disturb the PPN")
+	}
+}
+
+func TestQuickPPNRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		ppn := addr.PPN(raw & ((1 << 40) - 1))
+		return New(ppn, addr.Page2M).PPN() == ppn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaggedMatches4K(t *testing.T) {
+	slot := Tagged{Tag: 139, Entry: New(0xff, addr.Page4K)}
+	if !slot.Matches(139) {
+		t.Error("exact VPN must match")
+	}
+	if slot.Matches(140) {
+		t.Error("different VPN must not match")
+	}
+}
+
+func TestTaggedMatchesHuge(t *testing.T) {
+	// Paper §4.4: 2MB page spanning VPNs [1024, 1536) tagged with 1024.
+	slot := Tagged{Tag: 1024, Entry: New(512, addr.Page2M)}
+	for _, v := range []addr.VPN{1024, 1100, 1535} {
+		if !slot.Matches(v) {
+			t.Errorf("VPN %d inside huge page must match", v)
+		}
+	}
+	for _, v := range []addr.VPN{1023, 1536, 2048} {
+		if slot.Matches(v) {
+			t.Errorf("VPN %d outside huge page must not match", v)
+		}
+	}
+}
+
+func TestTaggedInvalid(t *testing.T) {
+	var slot Tagged
+	if slot.Valid() {
+		t.Error("zero slot must be invalid")
+	}
+	if slot.Matches(0) {
+		t.Error("invalid slot must never match")
+	}
+}
+
+func TestClusterGeometry(t *testing.T) {
+	if ClusterSlots != 8 {
+		t.Errorf("64-byte line holds %d tagged slots, want 8", ClusterSlots)
+	}
+	if TaggedBytes != 8 || Bytes != 8 {
+		t.Errorf("entry sizes changed: tagged=%d plain=%d", TaggedBytes, Bytes)
+	}
+}
+
+func TestNotPresentString(t *testing.T) {
+	var e Entry
+	if got := e.String(); got != "PTE{not present}" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,280 @@
+// Package sim is the trace-driven full-system timing simulator that stands
+// in for the paper's SST+QEMU stack (§6.1). Each memory access of a
+// workload trace flows through the Table-1 machine model: L1/L2 TLBs, the
+// scheme's hardware page walker (whose memory requests are charged to the
+// cache hierarchy and DRAM), and finally the data access itself.
+//
+// Cycle accounting models a 4-issue out-of-order core: instructions retire
+// at the issue width, translation latency is exposed (an access cannot
+// start before its translation), and data-miss latency is partially hidden
+// by memory-level parallelism.
+package sim
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/cache"
+	"lvm/internal/dram"
+	"lvm/internal/mmu"
+	"lvm/internal/stats"
+	"lvm/internal/tlb"
+	"lvm/internal/workload"
+)
+
+// Config is the machine configuration.
+type Config struct {
+	Cache cache.Config
+	DRAM  dram.Config
+	// TLBL1Small, TLBL1Huge, TLBL2, TLBL2Huge size the TLBs (entries per
+	// page size; TLBL2Huge defaults to TLBL2).
+	TLBL1Small, TLBL1Huge, TLBL2, TLBL2Huge int
+	// IssueWidth is the core's retire rate in instructions per cycle.
+	IssueWidth float64
+	// DataOverlap is the fraction of data-access latency hidden by the
+	// out-of-order window and MLP (0 = fully exposed, 1 = fully hidden).
+	DataOverlap float64
+	// Midgard enables the §7.5.2 model: data requests are looked up with
+	// the intermediate (virtual) address first; translation is needed only
+	// when the request misses the LLC.
+	Midgard bool
+}
+
+// DefaultConfig matches Table 1 at 2 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Cache:       cache.DefaultConfig(),
+		DRAM:        dram.DefaultConfig(),
+		TLBL1Small:  64,
+		TLBL1Huge:   32,
+		TLBL2:       2048,
+		TLBL2Huge:   2048,
+		IssueWidth:  4,
+		DataOverlap: 0.6,
+	}
+}
+
+// ScaledConfig is the machine model the experiment harness uses: workload
+// footprints are scaled ~50× down from the paper's testbed (124 GB → a few
+// GB), so every SRAM structure that the paper sizes against the footprint
+// scales with it — caches, TLBs, and the radix PWC — preserving the
+// paper's working-set-to-capacity ratios. The LVM walk cache deliberately
+// stays at its Table-1 size of 16 entries: the learned index's size is
+// footprint-independent (§7.3), and keeping the LWC fixed is precisely the
+// property under test.
+func ScaledConfig() Config {
+	cfg := DefaultConfig()
+	// Paper ratios at 124 GB: L2 1 MB (1:124000), L3 2 MB/core (1:62000),
+	// L2 TLB reach 8 MB (1:15500). At ~4 GB footprints the proportional
+	// sizes are L2 32 KB, L3 64 KB, L2 TLB 128 entries per size. The L1
+	// cache keeps a functional minimum (16 KB).
+	cfg.Cache.L1 = cache.LevelConfig{SizeBytes: 16 << 10, Ways: 8, LatencyCycles: 1}
+	cfg.Cache.L2 = cache.LevelConfig{SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 20}
+	cfg.Cache.L3 = cache.LevelConfig{SizeBytes: 64 << 10, Ways: 16, LatencyCycles: 56}
+	// 4 KB TLB reach ratio 1:15500 and 2 MB reach ratio 1:19 at the
+	// paper's scale map to 128 and 32 entries here.
+	cfg.TLBL1Small = 16
+	cfg.TLBL1Huge = 8
+	cfg.TLBL2 = 128
+	cfg.TLBL2Huge = 32
+	return cfg
+}
+
+// ScaledHW returns the walk-cache sizing for ScaledConfig: the radix PWC
+// scales to 8 entries per level — still ~4 generous versus the strict
+// footprint-proportional size (Table 1's 32×2MB reach against a 124 GB
+// footprint is 1:1200; 8×2MB against ~2 GB is 1:128), and it lands radix's
+// PDE miss rates inside the paper's reported 59.7–99.6% band. The LWC
+// stays at its Table-1 16 entries — footprint-independence is LVM's claim
+// under test.
+func ScaledHW() (pwcEntriesPerLevel, lwcEntries int) { return 8, 16 }
+
+// Result carries the metrics every figure of §7 is derived from.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	Instructions uint64
+	Accesses     uint64
+	Cycles       float64
+
+	// MMU overhead components (Figure 10): cycles spent translating.
+	TLBCycles  float64
+	WalkCycles float64
+
+	// Walks and page-walk memory traffic (Figure 11).
+	Walks    uint64
+	WalkRefs uint64
+
+	// TLB behaviour.
+	L1TLBMisses uint64
+	L2TLBMisses uint64
+	L2TLBMiss   float64 // rate
+
+	// Cache behaviour (Figure 12).
+	L2MPKI, L3MPKI float64
+	L1MPKI         float64
+	DRAMAccesses   uint64
+
+	// Translation faults (accesses to unmapped pages; should be zero).
+	Faults uint64
+}
+
+// MMUCycles returns the total translation overhead.
+func (r Result) MMUCycles() float64 { return r.TLBCycles + r.WalkCycles }
+
+// CPU is one simulated core with private TLBs and caches.
+type CPU struct {
+	cfg    Config
+	tlbs   *tlb.Hierarchy
+	caches *cache.Hierarchy
+	walker mmu.Walker
+}
+
+// New creates a core bound to a scheme walker.
+func New(cfg Config, walker mmu.Walker) *CPU {
+	if cfg.TLBL1Small == 0 {
+		cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2 = 64, 32, 2048
+	}
+	if cfg.TLBL2Huge == 0 {
+		cfg.TLBL2Huge = cfg.TLBL2
+	}
+	return &CPU{
+		cfg:    cfg,
+		tlbs:   tlb.NewHierarchySized(cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2, cfg.TLBL2Huge),
+		caches: cache.New(cfg.Cache, dram.New(cfg.DRAM)),
+		walker: walker,
+	}
+}
+
+// TLBs exposes the TLB hierarchy for inspection.
+func (c *CPU) TLBs() *tlb.Hierarchy { return c.tlbs }
+
+// Caches exposes the cache hierarchy for inspection.
+func (c *CPU) Caches() *cache.Hierarchy { return c.caches }
+
+// walkLatency charges a walk's memory requests to the cache hierarchy:
+// groups are sequential, requests within a group run in parallel (their
+// latency is the max).
+func (c *CPU) walkLatency(out mmu.Outcome) float64 {
+	lat := float64(out.WalkCacheCycles)
+	for _, g := range out.Groups {
+		groupMax := 0
+		for _, pa := range g {
+			if l := c.caches.Access(pa, true); l > groupMax {
+				groupMax = l
+			}
+		}
+		lat += float64(groupMax)
+	}
+	return lat
+}
+
+// Run simulates a trace for one process (ASID) and returns the metrics.
+func (c *CPU) Run(asid uint16, w *workload.Workload) Result {
+	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
+	instrs := w.InstrsPerAccess
+	for _, a := range w.Accesses {
+		res.Instructions += uint64(instrs)
+		res.Accesses++
+		res.Cycles += float64(instrs) / c.cfg.IssueWidth
+
+		v := addr.VPNOf(a.VA)
+
+		if c.cfg.Midgard {
+			c.runMidgard(asid, a, v, &res)
+			continue
+		}
+
+		// 1. TLB.
+		tr, hit := c.tlbs.Lookup(asid, v)
+		res.TLBCycles += float64(tr.Latency)
+		res.Cycles += float64(tr.Latency)
+		entry := tr.Entry
+		if !hit {
+			res.L2TLBMisses++
+			// 2. Page walk.
+			out := c.walker.Walk(asid, v)
+			res.Walks++
+			res.WalkRefs += uint64(out.Refs())
+			lat := c.walkLatency(out)
+			res.WalkCycles += lat
+			res.Cycles += lat
+			if !out.Found {
+				res.Faults++
+				continue
+			}
+			entry = out.Entry
+			c.tlbs.Fill(asid, v, entry)
+		}
+		if !tr.HitL1 {
+			res.L1TLBMisses++
+		}
+
+		// 3. Data access.
+		pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
+		dataLat := float64(c.caches.Access(pa, false))
+		res.Cycles += dataLat * (1 - c.cfg.DataOverlap)
+	}
+	c.finish(&res)
+	return res
+}
+
+// runMidgard handles one access in the Midgard model: the cache hierarchy
+// is indexed by the intermediate (virtual) address, so hits need no
+// translation at all; only LLC misses trigger a radix walk to reach DRAM.
+func (c *CPU) runMidgard(asid uint16, a workload.Access, v addr.VPN, res *Result) {
+	// VMA-level Midgard translation is a handful of registers: free.
+	lat := c.caches.Access(addr.PA(a.VA), false)
+	llcMiss := lat > c.cfg.Cache.L3.LatencyCycles
+	res.Cycles += float64(lat) * (1 - c.cfg.DataOverlap)
+	if !llcMiss {
+		return
+	}
+	// LLC miss: translate to reach memory (backside radix walk).
+	tr, hit := c.tlbs.Lookup(asid, v)
+	res.TLBCycles += float64(tr.Latency)
+	res.Cycles += float64(tr.Latency)
+	if !hit {
+		res.L2TLBMisses++
+		out := c.walker.Walk(asid, v)
+		res.Walks++
+		res.WalkRefs += uint64(out.Refs())
+		wlat := c.walkLatency(out)
+		res.WalkCycles += wlat
+		res.Cycles += wlat
+		if !out.Found {
+			res.Faults++
+			return
+		}
+		c.tlbs.Fill(asid, v, out.Entry)
+	}
+	if !tr.HitL1 {
+		res.L1TLBMisses++
+	}
+}
+
+func (c *CPU) finish(res *Result) {
+	res.L2TLBMiss = c.tlbs.L2MissRate()
+	res.L1MPKI = c.caches.MPKI(1, res.Instructions)
+	res.L2MPKI = c.caches.MPKI(2, res.Instructions)
+	res.L3MPKI = c.caches.MPKI(3, res.Instructions)
+	res.DRAMAccesses = c.caches.DRAM().Accesses()
+}
+
+// Speedup returns base cycles / this cycles.
+func Speedup(base, other Result) float64 {
+	if other.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / other.Cycles
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: %.0f cycles, MMU %.1f%% (walk %.1f%%), %.2f refs/walk, L2TLB miss %.1f%%, L2 MPKI %.2f, L3 MPKI %.2f",
+		r.Workload, r.Scheme, r.Cycles,
+		100*r.MMUCycles()/r.Cycles, 100*r.WalkCycles/r.Cycles,
+		stats.Ratio(r.WalkRefs, r.Walks),
+		100*r.L2TLBMiss, r.L2MPKI, r.L3MPKI)
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"lvm/internal/oskernel"
+	"lvm/internal/phys"
+	"lvm/internal/workload"
+)
+
+// runScheme builds a workload and simulates it under one scheme.
+func runScheme(t *testing.T, name string, scheme oskernel.Scheme, thp bool) Result {
+	return runSchemeP(t, name, scheme, thp, workload.QuickParams())
+}
+
+// perfParams puts the quick workloads into the paper's regime: footprints
+// beyond the L2 TLB reach (8 MB) and the radix PDE-cache reach (64 MB), so
+// page walks actually matter.
+func perfParams() workload.Params {
+	p := workload.QuickParams()
+	p.GUPSTableBytes = 2 << 30
+	p.MemcachedBytes = 1 << 30
+	p.TraceLen = 120_000
+	return p
+}
+
+func runSchemeP(t *testing.T, name string, scheme oskernel.Scheme, thp bool, p workload.Params) Result {
+	t.Helper()
+	w, err := workload.Build(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := phys.New(4 << 30)
+	sys := oskernel.NewSystem(mem, scheme)
+	if _, err := sys.Launch(1, w.Space, thp); err != nil {
+		t.Fatalf("%s/%s: %v", name, scheme, err)
+	}
+	cfg := DefaultConfig()
+	cfg.Midgard = scheme == oskernel.SchemeMidgard
+	cpu := New(cfg, sys.Walker())
+	return cpu.Run(1, w)
+}
+
+func TestNoFaultsAnyScheme(t *testing.T) {
+	for _, scheme := range oskernel.AllSchemes() {
+		r := runScheme(t, "bfs", scheme, false)
+		if r.Faults != 0 {
+			t.Errorf("%s: %d translation faults", scheme, r.Faults)
+		}
+		if r.Cycles <= 0 || r.Instructions == 0 {
+			t.Errorf("%s: empty result", scheme)
+		}
+	}
+}
+
+func TestIdealIsSingleAccess(t *testing.T) {
+	r := runSchemeP(t, "gups", oskernel.SchemeIdeal, false, perfParams())
+	if got := float64(r.WalkRefs) / float64(r.Walks); got != 1 {
+		t.Errorf("ideal refs/walk = %v, must be exactly 1", got)
+	}
+}
+
+func TestRadixWalkRefsBounded(t *testing.T) {
+	r := runSchemeP(t, "gups", oskernel.SchemeRadix, false, perfParams())
+	refsPerWalk := float64(r.WalkRefs) / float64(r.Walks)
+	if refsPerWalk < 1 || refsPerWalk > 4 {
+		t.Errorf("radix refs/walk = %v, must be in [1,4]", refsPerWalk)
+	}
+}
+
+func TestECPTTrafficExceedsRadix(t *testing.T) {
+	// Figure 11's core claim: ECPT trades latency for traffic.
+	rad := runSchemeP(t, "gups", oskernel.SchemeRadix, false, perfParams())
+	ec := runSchemeP(t, "gups", oskernel.SchemeECPT, false, perfParams())
+	if ec.WalkRefs <= rad.WalkRefs {
+		t.Errorf("ECPT walk refs (%d) must exceed radix (%d)", ec.WalkRefs, rad.WalkRefs)
+	}
+}
+
+func TestLVMTrafficNearIdeal(t *testing.T) {
+	// Figure 11: LVM within ~1% of ideal page-walk traffic.
+	lvm := runSchemeP(t, "gups", oskernel.SchemeLVM, false, perfParams())
+	id := runSchemeP(t, "gups", oskernel.SchemeIdeal, false, perfParams())
+	lvmRefs := float64(lvm.WalkRefs) / float64(lvm.Walks)
+	idRefs := float64(id.WalkRefs) / float64(id.Walks)
+	if lvmRefs > idRefs*1.10 {
+		t.Errorf("LVM refs/walk %.3f vs ideal %.3f: more than 10%% above", lvmRefs, idRefs)
+	}
+}
+
+func TestSpeedupOrdering(t *testing.T) {
+	// Figure 9's shape on the most translation-bound workload: ideal ≥
+	// LVM > radix, and LVM ≥ ECPT.
+	rad := runSchemeP(t, "gups", oskernel.SchemeRadix, false, perfParams())
+	ec := runSchemeP(t, "gups", oskernel.SchemeECPT, false, perfParams())
+	lvm := runSchemeP(t, "gups", oskernel.SchemeLVM, false, perfParams())
+	id := runSchemeP(t, "gups", oskernel.SchemeIdeal, false, perfParams())
+
+	if !(lvm.Cycles < rad.Cycles) {
+		t.Errorf("LVM (%.0f cycles) must beat radix (%.0f)", lvm.Cycles, rad.Cycles)
+	}
+	if !(id.Cycles <= lvm.Cycles*1.02) {
+		t.Errorf("ideal (%.0f) must be ≤ LVM (%.0f)", id.Cycles, lvm.Cycles)
+	}
+	if lvm.Cycles > ec.Cycles*1.02 {
+		t.Errorf("LVM (%.0f) should not lose to ECPT (%.0f)", lvm.Cycles, ec.Cycles)
+	}
+}
+
+func TestTHPReducesWalkCycles(t *testing.T) {
+	base := runSchemeP(t, "gups", oskernel.SchemeRadix, false, perfParams())
+	thp := runSchemeP(t, "gups", oskernel.SchemeRadix, true, perfParams())
+	if thp.WalkCycles >= base.WalkCycles {
+		t.Errorf("THP walk cycles (%.0f) must be below 4K (%.0f)", thp.WalkCycles, base.WalkCycles)
+	}
+}
+
+func TestL2TLBMissRateSchemeIndependent(t *testing.T) {
+	// §7.2: TLB miss rates are nearly identical across schemes.
+	rad := runScheme(t, "bfs", oskernel.SchemeRadix, false)
+	lvm := runScheme(t, "bfs", oskernel.SchemeLVM, false)
+	diff := rad.L2TLBMiss - lvm.L2TLBMiss
+	if diff > 0.01 || diff < -0.01 {
+		t.Errorf("L2 TLB miss rates diverge: radix %.3f vs lvm %.3f", rad.L2TLBMiss, lvm.L2TLBMiss)
+	}
+}
+
+func TestMidgardSavesMMUWork(t *testing.T) {
+	// §7.5.2: Midgard needs translation only on LLC misses; its MMU
+	// overhead must undercut radix (hot data served by VMA translation).
+	mid := runSchemeP(t, "mem$", oskernel.SchemeMidgard, false, perfParams())
+	rad := runSchemeP(t, "mem$", oskernel.SchemeRadix, false, perfParams())
+	if mid.Walks > rad.Walks {
+		t.Errorf("Midgard walks (%d) must not exceed radix (%d)", mid.Walks, rad.Walks)
+	}
+	if mid.MMUCycles() >= rad.MMUCycles() {
+		t.Errorf("Midgard MMU cycles (%.0f) must undercut radix (%.0f)", mid.MMUCycles(), rad.MMUCycles())
+	}
+}
+
+func TestPTWL1IncreasesL1MPKI(t *testing.T) {
+	// §7.2: connecting the PTW to L1 raises L1 MPKI.
+	w, _ := workload.Build("gups", workload.QuickParams())
+	for _, entry := range []int{1, 2} {
+		mem := phys.New(512 << 20)
+		sys := oskernel.NewSystem(mem, oskernel.SchemeRadix)
+		sys.Launch(1, w.Space, false)
+		cfg := DefaultConfig()
+		cfg.Cache.WalkEntryLevel = entry
+		cpu := New(cfg, sys.Walker())
+		r := cpu.Run(1, w)
+		if entry == 1 && r.L1MPKI == 0 {
+			t.Error("no L1 misses recorded")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runScheme(t, "mem$", oskernel.SchemeLVM, false)
+	b := runScheme(t, "mem$", oskernel.SchemeLVM, false)
+	if a.Cycles != b.Cycles || a.WalkRefs != b.WalkRefs {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := runScheme(t, "bfs", oskernel.SchemeRadix, false)
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"lvm/internal/addr"
+	"lvm/internal/workload"
+)
+
+// RunTail simulates a trace like Run but additionally returns the cycle
+// cost of every access (request latency, for the §7.3 memcached tail
+// study) and invokes hook before each access; the hook returns extra
+// cycles to charge to that access — the experiment harness uses it to
+// inject OS-side LVM management work (inserts, retrains) and observe the
+// effect on tail latency.
+func (c *CPU) RunTail(asid uint16, w *workload.Workload, hook func(i int) float64) (Result, []float64) {
+	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
+	latencies := make([]float64, 0, len(w.Accesses))
+	instrs := w.InstrsPerAccess
+	for i, a := range w.Accesses {
+		res.Instructions += uint64(instrs)
+		res.Accesses++
+		lat := float64(instrs) / c.cfg.IssueWidth
+		if hook != nil {
+			lat += hook(i)
+		}
+
+		v := addr.VPNOf(a.VA)
+		tr, hit := c.tlbs.Lookup(asid, v)
+		res.TLBCycles += float64(tr.Latency)
+		lat += float64(tr.Latency)
+		entry := tr.Entry
+		if !hit {
+			res.L2TLBMisses++
+			out := c.walker.Walk(asid, v)
+			res.Walks++
+			res.WalkRefs += uint64(out.Refs())
+			wl := c.walkLatency(out)
+			res.WalkCycles += wl
+			lat += wl
+			if !out.Found {
+				res.Faults++
+				res.Cycles += lat
+				latencies = append(latencies, lat)
+				continue
+			}
+			entry = out.Entry
+			c.tlbs.Fill(asid, v, entry)
+		}
+		if !tr.HitL1 {
+			res.L1TLBMisses++
+		}
+		pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
+		lat += float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
+
+		res.Cycles += lat
+		latencies = append(latencies, lat)
+	}
+	c.finish(&res)
+	return res, latencies
+}

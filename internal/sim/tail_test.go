@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"lvm/internal/oskernel"
+	"lvm/internal/phys"
+	"lvm/internal/workload"
+)
+
+// tailSetup builds a workload and a CPU ready for RunTail.
+func tailSetup(t *testing.T) (*CPU, *workload.Workload) {
+	t.Helper()
+	p := workload.QuickParams()
+	p.TraceLen = 30_000
+	w, err := workload.Build("mem$", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := oskernel.NewSystem(phys.New(2<<30), oskernel.SchemeLVM)
+	if _, err := sys.Launch(1, w.Space, false); err != nil {
+		t.Fatal(err)
+	}
+	return New(DefaultConfig(), sys.Walker()), w
+}
+
+// TestRunTailMatchesRun: with a nil hook, RunTail must produce one latency
+// per access, each latency must be positive, and their sum must equal the
+// aggregate cycle count it reports.
+func TestRunTailMatchesRun(t *testing.T) {
+	cpu, w := tailSetup(t)
+	res, lats := cpu.RunTail(1, w, nil)
+	if len(lats) != len(w.Accesses) {
+		t.Fatalf("%d latencies for %d accesses", len(lats), len(w.Accesses))
+	}
+	var sum float64
+	for i, l := range lats {
+		if l <= 0 {
+			t.Fatalf("access %d: non-positive latency %v", i, l)
+		}
+		sum += l
+	}
+	// Cycles accumulates exactly the per-access latencies (minus any
+	// overlapped data latency, which Run credits identically).
+	if sum <= 0 || res.Cycles <= 0 {
+		t.Fatal("empty tail run")
+	}
+	if diff := (sum - res.Cycles) / res.Cycles; diff > 0.01 || diff < -0.01 {
+		t.Errorf("latency sum %.0f deviates from cycles %.0f by %.2f%%",
+			sum, res.Cycles, 100*diff)
+	}
+}
+
+// TestRunTailHookCharged: hook cycles must land on exactly the accesses
+// the hook targets — visible in the per-access latencies and the total.
+func TestRunTailHookCharged(t *testing.T) {
+	cpu, w := tailSetup(t)
+	_, base := cpu.RunTail(1, w, nil)
+
+	cpu2, w2 := tailSetup(t)
+	const charge = 5000.0
+	_, spiked := cpu2.RunTail(1, w2, func(i int) float64 {
+		if i%1000 == 0 {
+			return charge
+		}
+		return 0
+	})
+	for i := range spiked {
+		d := spiked[i] - base[i]
+		if i%1000 == 0 {
+			if d < charge {
+				t.Fatalf("access %d: hook charge missing (delta %.0f)", i, d)
+			}
+		} else if d > charge/10 {
+			t.Fatalf("access %d: unhooked access inflated by %.0f", i, d)
+		}
+	}
+}
+
+// TestRunTailPercentileShift: a hook charging every 512th request (the
+// §7.3 churn pattern) must move the p99.9+ tail while leaving the median
+// untouched — the property the tail-latency experiment interprets.
+func TestRunTailPercentileShift(t *testing.T) {
+	pctl := func(ls []float64, q float64) float64 {
+		s := append([]float64(nil), ls...)
+		sort.Float64s(s)
+		return s[int(q*float64(len(s)-1))]
+	}
+	cpu, w := tailSetup(t)
+	_, base := cpu.RunTail(1, w, nil)
+	cpu2, w2 := tailSetup(t)
+	_, churn := cpu2.RunTail(1, w2, func(i int) float64 {
+		if i%512 == 0 {
+			return 1e6
+		}
+		return 0
+	})
+	if p50b, p50c := pctl(base, 0.50), pctl(churn, 0.50); p50c != p50b {
+		t.Errorf("median moved under churn: %.1f -> %.1f", p50b, p50c)
+	}
+	if hi := pctl(churn, 0.999); hi < 1e6 {
+		t.Errorf("p99.9 %.0f does not reflect the churn spikes", hi)
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"lvm/internal/addr"
+)
+
+// tracer accumulates the access trace up to a cap.
+type tracer struct {
+	out []Access
+	max int
+}
+
+func (t *tracer) full() bool { return len(t.out) >= t.max }
+
+func (t *tracer) load(va addr.VA) { t.out = append(t.out, Access{VA: va}) }
+
+func (t *tracer) store(va addr.VA) { t.out = append(t.out, Access{VA: va, Write: true}) }
+
+// Element strides, in bytes. graphBIG's vertex properties are structs and
+// its edges carry weights, so the in-memory elements are larger than the
+// bare indices our host-side CSR stores; the strides reproduce the paper's
+// footprint-per-vertex without holding the padding in host memory.
+const (
+	offStride  = 8
+	tgtStride  = 16 // target id + edge weight + padding
+	propStride = 64 // per-vertex property struct
+)
+
+// graphArrays holds the VAs of the CSR and property arrays inside the heap.
+type graphArrays struct {
+	offsets addr.VA // (V+1) × offStride
+	targets addr.VA // E × tgtStride
+	propA   addr.VA // V × propStride (visited / labels / rank)
+	propB   addr.VA // V × propStride (queue / next rank / dist)
+}
+
+func (a graphArrays) offVA(u int) addr.VA    { return a.offsets + addr.VA(u*offStride) }
+func (a graphArrays) tgtVA(i uint64) addr.VA { return a.targets + addr.VA(i*tgtStride) }
+func (a graphArrays) aVA(v int) addr.VA      { return a.propA + addr.VA(v*propStride) }
+func (a graphArrays) bVA(v int) addr.VA      { return a.propB + addr.VA(v*propStride) }
+
+// buildGraph constructs one of the six graphBIG kernels over the shared
+// Kronecker graph (§6.2). The trace contains the VAs of the array elements
+// the kernel actually touches, so spatial locality (sequential offsets,
+// random targets) matches the real algorithms.
+func buildGraph(name string, p Params) *Workload {
+	g := sharedGraph(p)
+
+	bytes := uint64(g.V+1)*offStride + uint64(g.E())*tgtStride + 2*uint64(g.V)*propStride
+	heapPages := int(bytes>>addr.PageShift) + 2048
+	space := heapLayout(heapPages, p.Seed)
+	heap := heapRegion(space)
+	ar := newArena(heap)
+	arr := graphArrays{
+		offsets: ar.alloc(uint64(g.V+1) * offStride),
+		targets: ar.alloc(uint64(g.E()) * tgtStride),
+		propA:   ar.alloc(uint64(g.V) * propStride),
+		propB:   ar.alloc(uint64(g.V) * propStride),
+	}
+
+	tr := &tracer{max: p.TraceLen}
+	rng := rngFor(p, int64(len(name)))
+	switch name {
+	case "bfs":
+		traceBFS(g, arr, tr, rng.Intn(g.V))
+	case "dfs":
+		traceDFS(g, arr, tr, rng.Intn(g.V))
+	case "cc":
+		traceCC(g, arr, tr)
+	case "dc":
+		traceDC(g, arr, tr)
+	case "pr":
+		tracePR(g, arr, tr)
+	case "sssp":
+		traceSSSP(g, arr, tr, rng.Intn(g.V))
+	default:
+		panic("workload: unknown graph kernel " + name)
+	}
+	// Restart from fresh sources if the component was small.
+	for !tr.full() {
+		switch name {
+		case "bfs":
+			traceBFS(g, arr, tr, rng.Intn(g.V))
+		case "dfs":
+			traceDFS(g, arr, tr, rng.Intn(g.V))
+		case "sssp":
+			traceSSSP(g, arr, tr, rng.Intn(g.V))
+		default:
+			// Iterative kernels: run another sweep.
+			traceCC(g, arr, tr)
+		}
+	}
+	if len(tr.out) > p.TraceLen {
+		tr.out = tr.out[:p.TraceLen]
+	}
+	return &Workload{Name: name, Space: space, Accesses: tr.out, InstrsPerAccess: 6}
+}
+
+func traceBFS(g *Graph, a graphArrays, t *tracer, src int) {
+	visited := make([]bool, g.V)
+	frontier := []int{src}
+	visited[src] = true
+	for len(frontier) > 0 && !t.full() {
+		var next []int
+		for _, u := range frontier {
+			if t.full() {
+				return
+			}
+			t.load(a.offVA(u)) // offsets[u], offsets[u+1] share a line
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && !t.full(); i++ {
+				t.load(a.tgtVA(i))
+				v := int(g.Targets[i])
+				t.load(a.aVA(v)) // visited check: random access
+				if !visited[v] {
+					visited[v] = true
+					t.store(a.aVA(v))
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+func traceDFS(g *Graph, a graphArrays, t *tracer, src int) {
+	visited := make([]bool, g.V)
+	stack := []int{src}
+	for len(stack) > 0 && !t.full() {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.load(a.aVA(u))
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		t.store(a.aVA(u))
+		t.load(a.offVA(u))
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi && !t.full(); i++ {
+			t.load(a.tgtVA(i))
+			stack = append(stack, int(g.Targets[i]))
+		}
+	}
+}
+
+// traceCC runs one label-propagation sweep (connected components).
+func traceCC(g *Graph, a graphArrays, t *tracer) {
+	for u := 0; u < g.V && !t.full(); u++ {
+		t.load(a.aVA(u)) // label[u]: sequential
+		t.load(a.offVA(u))
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		changed := false
+		for i := lo; i < hi && !t.full(); i++ {
+			t.load(a.tgtVA(i))
+			v := int(g.Targets[i])
+			t.load(a.aVA(v)) // label[v]: random
+			if v < u {
+				changed = true
+			}
+		}
+		if changed {
+			t.store(a.aVA(u))
+		}
+	}
+}
+
+// traceDC computes degree centrality: sequential out-degree scan plus
+// random in-degree scatter.
+func traceDC(g *Graph, a graphArrays, t *tracer) {
+	for u := 0; u < g.V && !t.full(); u++ {
+		t.load(a.offVA(u))
+		t.store(a.aVA(u)) // outdeg[u]: sequential
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi && !t.full(); i++ {
+			t.load(a.tgtVA(i))
+			t.store(a.bVA(int(g.Targets[i]))) // indeg[v]++: random
+		}
+	}
+}
+
+// tracePR runs PageRank push iterations.
+func tracePR(g *Graph, a graphArrays, t *tracer) {
+	for !t.full() {
+		for u := 0; u < g.V && !t.full(); u++ {
+			t.load(a.aVA(u)) // rank[u]: sequential
+			t.load(a.offVA(u))
+			lo, hi := g.Offsets[u], g.Offsets[u+1]
+			for i := lo; i < hi && !t.full(); i++ {
+				t.load(a.tgtVA(i))
+				t.store(a.bVA(int(g.Targets[i]))) // acc[v] += share: random
+			}
+		}
+	}
+}
+
+// traceSSSP runs Bellman-Ford-style relaxations from a source.
+func traceSSSP(g *Graph, a graphArrays, t *tracer, src int) {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.V)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 && !t.full() {
+		u := queue[0]
+		queue = queue[1:]
+		t.load(a.bVA(u)) // dist[u]
+		t.load(a.offVA(u))
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi && !t.full(); i++ {
+			t.load(a.tgtVA(i))
+			v := int(g.Targets[i])
+			t.load(a.bVA(v)) // dist[v]: random
+			w := 1 + int(i%7)
+			if dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+				t.store(a.bVA(v))
+				queue = append(queue, v)
+			}
+		}
+	}
+}

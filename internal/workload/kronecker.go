@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is a CSR-format directed graph, the in-memory representation
+// graphBIG's kernels operate on. Offsets and Targets are the two big arrays
+// whose virtual addresses dominate the access traces.
+type Graph struct {
+	V       int
+	Offsets []uint64 // V+1 entries
+	Targets []uint32 // E entries
+}
+
+// Kronecker generates an RMAT/Kronecker graph with 2^scale vertices and
+// roughly avgDegree edges per vertex, the synthetic input the paper's graph
+// workloads use (§6.2: "a Kronecker graph"). Standard Graph500 RMAT
+// parameters (a=0.57, b=0.19, c=0.19).
+func Kronecker(scale int, avgDegree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	v := 1 << uint(scale)
+	e := v * avgDegree
+
+	type edge struct{ src, dst uint32 }
+	edges := make([]edge, 0, e)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < e; i++ {
+		var src, dst uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				dst |= 1 << uint(bit)
+			case r < a+b+c:
+				src |= 1 << uint(bit)
+			default:
+				src |= 1 << uint(bit)
+				dst |= 1 << uint(bit)
+			}
+		}
+		edges = append(edges, edge{src, dst})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		return edges[i].dst < edges[j].dst
+	})
+
+	g := &Graph{
+		V:       v,
+		Offsets: make([]uint64, v+1),
+		Targets: make([]uint32, 0, len(edges)),
+	}
+	cur := uint32(0)
+	for _, ed := range edges {
+		for cur < ed.src {
+			cur++
+			g.Offsets[cur] = uint64(len(g.Targets))
+		}
+		g.Targets = append(g.Targets, ed.dst)
+	}
+	for cur < uint32(v) {
+		cur++
+		g.Offsets[cur] = uint64(len(g.Targets))
+	}
+	return g
+}
+
+// Degree returns the out-degree of vertex u.
+func (g *Graph) Degree(u int) int {
+	return int(g.Offsets[u+1] - g.Offsets[u])
+}
+
+// Neighbors returns the target slice of vertex u.
+func (g *Graph) Neighbors(u int) []uint32 {
+	return g.Targets[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// E returns the edge count.
+func (g *Graph) E() int { return len(g.Targets) }

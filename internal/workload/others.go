@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lvm/internal/addr"
+)
+
+// buildGUPS synthesizes the HPC Challenge random-access benchmark (§6.2):
+// read-modify-writes to uniformly random 8-byte words of one large table.
+// It is the most TLB-hostile workload: essentially every access touches a
+// new page.
+func buildGUPS(p Params) *Workload {
+	tableBytes := p.GUPSTableBytes
+	heapPages := int(tableBytes>>addr.PageShift) + 1024
+	space := heapLayout(heapPages, p.Seed+1)
+	ar := newArena(heapRegion(space))
+	table := ar.alloc(tableBytes)
+
+	rng := rngFor(p, 2)
+	tr := &tracer{max: p.TraceLen}
+	words := tableBytes / 8
+	for !tr.full() {
+		idx := uint64(rng.Int63n(int64(words)))
+		tr.store(table + addr.VA(idx*8)) // RMW on a random word
+	}
+	return &Workload{Name: "gups", Space: space, Accesses: tr.out, InstrsPerAccess: 4}
+}
+
+// buildMemcached synthesizes an in-memory key-value store (§6.2): a large
+// bucket array probed by key hash, followed by item accesses in a slab
+// region, with a mildly skewed key popularity and ~10% writes.
+func buildMemcached(p Params) *Workload {
+	total := p.MemcachedBytes
+	bucketBytes := total / 8
+	slabBytes := total - bucketBytes
+	heapPages := int(total>>addr.PageShift) + 1024
+	space := heapLayout(heapPages, p.Seed+2)
+	ar := newArena(heapRegion(space))
+	buckets := ar.alloc(bucketBytes)
+	slab := ar.alloc(slabBytes)
+
+	nBuckets := bucketBytes / 8
+	const itemBytes = 128
+	nItems := slabBytes / itemBytes
+
+	rng := rngFor(p, 3)
+	zipf := rand.NewZipf(rng, 1.2, 1, nItems-1)
+	tr := &tracer{max: p.TraceLen}
+	for !tr.full() {
+		item := zipf.Uint64()
+		// Hash the key to a bucket (mix so hot items do not cluster).
+		bucket := (item * 0x9e3779b97f4a7c15) % nBuckets
+		tr.load(buckets + addr.VA(bucket*8))
+		if tr.full() {
+			break
+		}
+		itemVA := slab + addr.VA(item*itemBytes)
+		if rng.Intn(10) == 0 {
+			tr.store(itemVA) // SET
+		} else {
+			tr.load(itemVA) // GET reads header+value (one line here)
+		}
+	}
+	return &Workload{Name: "mem$", Space: space, Accesses: tr.out, InstrsPerAccess: 10}
+}
+
+// buildMUMmer synthesizes the DNA aligner's access pattern (§6.2): binary
+// searches over a large suffix array (pointer-chase-like, high TLB miss)
+// interleaved with short sequential scans of the reference sequence.
+// Building a true suffix tree is unnecessary for the address trace — the
+// binary-search probe sequence over a sorted array reproduces the memory
+// behaviour (documented substitution, DESIGN.md).
+func buildMUMmer(p Params) *Workload {
+	total := p.MumerBytes
+	saBytes := total * 3 / 4
+	refBytes := total - saBytes
+	heapPages := int(total>>addr.PageShift) + 1024
+	space := heapLayout(heapPages, p.Seed+3)
+	ar := newArena(heapRegion(space))
+	sa := ar.alloc(saBytes)
+	ref := ar.alloc(refBytes)
+
+	// Suffix-array entries are 32 bytes (position + LCP metadata), as in
+	// enhanced suffix arrays; the trace needs only their addresses.
+	const saStride = 32
+	n := saBytes / saStride
+	rng := rngFor(p, 4)
+	tr := &tracer{max: p.TraceLen}
+	for !tr.full() {
+		// Binary search over the suffix array.
+		lo, hi := uint64(0), n
+		target := uint64(rng.Int63n(int64(n)))
+		for lo < hi && !tr.full() {
+			mid := (lo + hi) / 2
+			tr.load(sa + addr.VA(mid*saStride))
+			if mid < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Extend the match: short sequential scan of the reference.
+		pos := uint64(rng.Int63n(int64(refBytes - 256)))
+		for j := uint64(0); j < 4 && !tr.full(); j++ {
+			tr.load(ref + addr.VA(pos+j*64))
+		}
+	}
+	return &Workload{Name: "MUMr", Space: space, Accesses: tr.out, InstrsPerAccess: 6}
+}

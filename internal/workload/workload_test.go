@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"lvm/internal/addr"
+	"lvm/internal/vas"
+)
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker(10, 8, 1)
+	if g.V != 1024 {
+		t.Errorf("V = %d", g.V)
+	}
+	if g.E() != 1024*8 {
+		t.Errorf("E = %d", g.E())
+	}
+	// CSR invariants.
+	if g.Offsets[0] != 0 || g.Offsets[g.V] != uint64(g.E()) {
+		t.Error("offsets endpoints wrong")
+	}
+	for i := 1; i <= g.V; i++ {
+		if g.Offsets[i] < g.Offsets[i-1] {
+			t.Fatal("offsets not monotone")
+		}
+	}
+	for _, v := range g.Targets {
+		if int(v) >= g.V {
+			t.Fatal("target out of range")
+		}
+	}
+}
+
+func TestKroneckerSkewed(t *testing.T) {
+	// RMAT graphs are power-law-ish: the max degree should far exceed the
+	// average.
+	g := Kronecker(12, 8, 2)
+	maxDeg := 0
+	for u := 0; u < g.V; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8*8 {
+		t.Errorf("max degree %d too small for an RMAT graph", maxDeg)
+	}
+}
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := Kronecker(8, 4, 3)
+	b := Kronecker(8, 4, 3)
+	if a.E() != b.E() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatal("same seed, different targets")
+		}
+	}
+}
+
+func TestAllWorkloadsBuild(t *testing.T) {
+	p := QuickParams()
+	for _, name := range SpeedupNames() {
+		w, err := Build(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Accesses) != p.TraceLen {
+			t.Errorf("%s: trace length %d want %d", name, len(w.Accesses), p.TraceLen)
+		}
+		if w.InstrsPerAccess < 1 {
+			t.Errorf("%s: instrs per access %d", name, w.InstrsPerAccess)
+		}
+		if w.FootprintBytes() == 0 {
+			t.Errorf("%s: empty footprint", name)
+		}
+	}
+}
+
+func TestTracesTouchMappedPages(t *testing.T) {
+	p := QuickParams()
+	for _, name := range SpeedupNames() {
+		w, err := Build(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped := make(map[addr.VPN]bool)
+		for _, r := range w.Space.Regions {
+			for _, v := range r.Mapped {
+				mapped[v] = true
+			}
+		}
+		for i, a := range w.Accesses {
+			if !mapped[addr.VPNOf(a.VA)] {
+				t.Fatalf("%s: access %d to unmapped VPN %#x", name, i, uint64(addr.VPNOf(a.VA)))
+			}
+		}
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	p := QuickParams()
+	a, _ := Build("bfs", p)
+	b, _ := Build("bfs", p)
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatal("same params, different traces")
+		}
+	}
+}
+
+func TestGUPSIsRandom(t *testing.T) {
+	p := QuickParams()
+	w, _ := Build("gups", p)
+	// Most consecutive accesses must land on different pages (the
+	// TLB-hostile property).
+	samePage := 0
+	for i := 1; i < len(w.Accesses); i++ {
+		if addr.VPNOf(w.Accesses[i].VA) == addr.VPNOf(w.Accesses[i-1].VA) {
+			samePage++
+		}
+	}
+	if frac := float64(samePage) / float64(len(w.Accesses)); frac > 0.05 {
+		t.Errorf("GUPS same-page fraction = %.3f, want ≈0", frac)
+	}
+}
+
+func TestGraphTraceHasLocalityMix(t *testing.T) {
+	p := QuickParams()
+	w, _ := Build("bfs", p)
+	sameLine := 0
+	for i := 1; i < len(w.Accesses); i++ {
+		if w.Accesses[i].VA/64 == w.Accesses[i-1].VA/64 {
+			sameLine++
+		}
+	}
+	frac := float64(sameLine) / float64(len(w.Accesses))
+	// Graph traversal mixes sequential (offsets/targets) and random
+	// (visited) accesses: some line locality, far from all.
+	if frac < 0.005 || frac > 0.9 {
+		t.Errorf("bfs same-line fraction = %.3f, expected a mix", frac)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Build("nope", QuickParams()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFig2ProfilesCoverage(t *testing.T) {
+	// §3.1: every profile must exhibit ≥78% gap-1 coverage.
+	for name, cfg := range Fig2Profiles() {
+		// Shrink for test speed while keeping the hole statistics.
+		cfg.HeapPages = min(cfg.HeapPages, 1<<15)
+		cfg.MmapPages = min(cfg.MmapPages, 1<<13)
+		space := vas.Generate(cfg, 9)
+		got := vas.GapCoverage(space.MappedVPNs())
+		if got < 0.78 {
+			t.Errorf("%s: gap coverage %.3f < 0.78", name, got)
+		}
+	}
+}
+
+func TestMemcachedSkewed(t *testing.T) {
+	p := QuickParams()
+	w, _ := Build("mem$", p)
+	// Zipf popularity: the most frequent line should appear much more
+	// often than the mean.
+	counts := map[addr.VA]int{}
+	for _, a := range w.Accesses {
+		counts[a.VA/64]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	mean := float64(len(w.Accesses)) / float64(len(counts))
+	if float64(maxCount) < mean*4 {
+		t.Errorf("memcached popularity not skewed: max %d vs mean %.1f", maxCount, mean)
+	}
+}
+
+func TestWritesPresent(t *testing.T) {
+	p := QuickParams()
+	for _, name := range []string{"gups", "mem$", "pr", "dc"} {
+		w, _ := Build(name, p)
+		writes := 0
+		for _, a := range w.Accesses {
+			if a.Write {
+				writes++
+			}
+		}
+		if writes == 0 {
+			t.Errorf("%s: no writes in trace", name)
+		}
+	}
+}
