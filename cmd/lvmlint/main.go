@@ -1,0 +1,81 @@
+// Command lvmlint runs the repository's custom static-analysis suite (see
+// internal/lint): fixedq, addrtypes, nondeterm, and floatfree.
+//
+// Standalone:
+//
+//	go run ./cmd/lvmlint ./...          # whole module
+//	go run ./cmd/lvmlint ./internal/core
+//
+// As a go vet tool (unitchecker protocol):
+//
+//	go build -o lvmlint ./cmd/lvmlint
+//	go vet -vettool=$PWD/lvmlint ./...
+//
+// Exit status is 1 (standalone) or 2 (vettool) when violations are found.
+// Legitimate exceptions are suppressed with a //lint:allow <analyzer>
+// <reason> comment on the flagged line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lvm/internal/lint"
+)
+
+func main() {
+	// go vet probes the tool with -V=full and -flags before handing it work.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Println("lvmlint version 1")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// JSON description of tool flags; the suite takes none.
+		fmt.Println("[]")
+		return
+	}
+	// go vet invokes the tool with a single *.cfg argument per package.
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		os.Exit(runUnitchecker(os.Args[len(os.Args)-1]))
+	}
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lvmlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvmlint:", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, lint.Analyzers()) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "lvmlint: %d violation(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -90,6 +90,21 @@ func VPNOf(va VA) VPN { return VPN(va >> PageShift) }
 // VAOf returns the first virtual address of the VPN.
 func VAOf(v VPN) VA { return VA(v << PageShift) }
 
+// PAOf returns the first physical address of the PPN — the page base every
+// table scheme uses to locate its structures in physical memory.
+func PAOf(p PPN) PA { return PA(p << PageShift) }
+
+// PPNOf returns the physical page number containing the physical address.
+func PPNOf(pa PA) PPN { return PPN(pa >> PageShift) }
+
+// SlotPA returns the physical address of the index'th slot of slotBytes
+// bytes in a table based at page p. Every scheme's slot/entry addressing is
+// this one shape; keeping it here means the PPN→PA step happens in exactly
+// one audited place.
+func SlotPA(p PPN, index, slotBytes uint64) PA {
+	return PAOf(p) + PA(index*slotBytes)
+}
+
 // Offset returns the in-page offset of va for the given page size.
 func Offset(va VA, s PageSize) uint64 { return uint64(va) & (s.Bytes() - 1) }
 
@@ -107,8 +122,7 @@ func Aligned(v VPN, s PageSize) bool { return v == AlignDown(v, s) }
 // Translate combines a PPN with the in-page offset of va to produce the
 // final physical address.
 func Translate(va VA, ppn PPN, s PageSize) PA {
-	base := PA(ppn << PageShift)
-	return base + PA(Offset(va, s))
+	return PAOf(ppn) + PA(Offset(va, s))
 }
 
 // Radix-level index extraction for 4-level x86-64 page tables. Level 4 is

@@ -156,8 +156,8 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 		return base // plain radix behaviour
 	}
 	flat := []addr.PA{
-		addr.PA(uint64(vm.ptBase)<<addr.PageShift) + addr.PA(uint64(v-vm.lo)*pte.Bytes),
-		addr.PA(uint64(vm.pmdBase)<<addr.PageShift) + addr.PA(uint64(v-vm.lo)/512*pte.Bytes),
+		addr.SlotPA(vm.ptBase, uint64(v-vm.lo), pte.Bytes),
+		addr.SlotPA(vm.pmdBase, uint64(v-vm.lo)/512, pte.Bytes),
 	}
 	all := flat
 	for _, g := range base.Groups {

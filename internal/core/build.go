@@ -639,10 +639,10 @@ func (b *builder) makeLeaf(ms []Mapping, lo, hi uint64, relaxed bool) (*node, er
 // single-access even for arbitrarily mixed page-size content.
 func (b *builder) makePositionalLeaf(ms []Mapping, lo, hi uint64) (*node, error) {
 	slope := fixed.FromFloat(b.p.GAScale)
-	intercept := -slope.Mul(fixed.FromInt(int64(lo)))
+	intercept := slope.Mul(fixed.FromInt(int64(lo))).Neg()
 	nd := &node{slope: slope, intercept: intercept, loKey: lo, hiKey: hi, leaf: true}
 	span := hi - lo + 1
-	needSlots := int(float64(span)*b.p.GAScale) + pte.ClusterSlots + 1
+	needSlots := int(slope.MulInt(int64(span))) + pte.ClusterSlots + 1
 	table, err := gapped.New(b.ix.mem, needSlots, b.availOrder())
 	if err != nil {
 		return nil, err

@@ -215,8 +215,7 @@ func (ix *Index) allocLevelStorage() error {
 // NodePA returns the physical address of the node at (level, offset); the
 // walker fetches the 64-byte line containing it on an LWC miss.
 func (ix *Index) NodePA(level, offset int) addr.PA {
-	base := addr.PA(uint64(ix.levelBase[level-1]) << addr.PageShift)
-	return base + addr.PA(offset*NodeBytes)
+	return addr.SlotPA(ix.levelBase[level-1], uint64(offset), NodeBytes)
 }
 
 // Depth returns the number of node levels.

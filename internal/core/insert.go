@@ -84,7 +84,7 @@ func (ix *Index) insertWithin(m Mapping) error {
 	// the expansion by the minimum insertion distance so the next pages
 	// land in pre-expanded slots.
 	if pred+ix.params.InsertReach >= leaf.table.Slots() && pred < leaf.table.Slots()+(1<<26) {
-		batch := int(leaf.slope.Float()*float64(ix.params.MinInsertDistance)) + 1
+		batch := int(leaf.slope.MulInt(int64(ix.params.MinInsertDistance))) + 1
 		need := pred + batch + ix.params.InsertReach + pte.ClusterSlots + 1 - leaf.table.Slots()
 		if leaf.table.Expand(need, ix.availOrder()) == nil {
 			ix.stats.Rescales++
@@ -170,12 +170,14 @@ func (ix *Index) insertEdgeHigh(m Mapping) error {
 func (ix *Index) lazyTrainLeaf(leaf *node, m Mapping) error {
 	slope := fixed.FromFloat(ix.params.GAScale)
 	leaf.slope = slope
-	leaf.intercept = Qneg(slope.Mul(fixed.FromInt(int64(m.VPN))))
+	leaf.intercept = slope.Mul(fixed.FromInt(int64(m.VPN))).Neg()
 	span := leaf.hiKey - leaf.loKey + 1
 	if d := ix.params.MinInsertDistance; d > 0 && span > d {
 		span = d
 	}
-	slots := int(float64(span)*ix.params.GAScale) + pte.ClusterSlots + 1
+	// Size the table with the same quantized slope the walker predicts
+	// with, so every reachable prediction lands inside the table.
+	slots := int(slope.MulInt(int64(span))) + pte.ClusterSlots + 1
 	table, err := gapped.New(ix.mem, slots, ix.availOrder())
 	if err != nil {
 		return err
@@ -190,9 +192,6 @@ func (ix *Index) lazyTrainLeaf(leaf *node, m Mapping) error {
 	}
 	return nil
 }
-
-// Qneg negates a fixed-point value.
-func Qneg(q fixed.Q) fixed.Q { return -q }
 
 // extendHighBookkeeping records the new upper key bound along the rightmost
 // path of the tree.

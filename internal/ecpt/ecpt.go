@@ -49,7 +49,7 @@ func (w *way) index(v addr.VPN) int {
 }
 
 func (w *way) slotPA(i int) addr.PA {
-	return addr.PA(uint64(w.base)<<addr.PageShift) + addr.PA(i*pte.TaggedBytes)
+	return addr.SlotPA(w.base, uint64(i), pte.TaggedBytes)
 }
 
 // cuckoo is a d-ary cuckoo hash table for one page size.
@@ -255,7 +255,7 @@ func (t *Table) region(v addr.VPN) uint64 { return uint64(v) >> 9 }
 // region, packed).
 func (t *Table) cwtPA(region uint64) addr.PA {
 	span := phys.BlockBytes(t.cwtOrdr)
-	return addr.PA(uint64(t.cwtBase)<<addr.PageShift) + addr.PA(region%span)
+	return addr.PAOf(t.cwtBase) + addr.PA(region%span)
 }
 
 // Map installs a translation.

@@ -2,10 +2,26 @@ package experiments
 
 import (
 	"testing"
+
+	"lvm/internal/racetest"
 )
 
 // The experiments suite is exercised end-to-end at Quick scale: every
 // figure driver must run and reproduce the paper's qualitative shape.
+
+// skipSweep skips the full simulation sweeps in -short mode and under the
+// race detector, whose 10–20× slowdown pushes this package past the
+// per-package test timeout; the shared simulator paths stay race-covered by
+// internal/sim's own suite and the cheap shape tests here.
+func skipSweep(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	if racetest.Enabled {
+		t.Skip("simulation sweep too slow under -race")
+	}
+}
 
 func quickRunner() *Runner {
 	r := NewRunner(Quick())
@@ -38,9 +54,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig9Through12Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	f9 := r.Fig9Speedups()
 	if f9.AvgLVM4K <= 1.0 {
@@ -84,9 +98,7 @@ func TestFig9Through12Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	res := r.Table2IndexSize()
 	for name, size := range res.Size4K {
@@ -109,9 +121,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestCollisionShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	res := r.CollisionRates()
 	if res.AvgLVM4K > 0.02 {
@@ -134,9 +144,7 @@ func TestHardwareShape(t *testing.T) {
 }
 
 func TestPriorWorkShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	res := r.PriorWork()
 	if res.LVM < res.ASAP-0.02 {
@@ -151,9 +159,7 @@ func TestPriorWorkShape(t *testing.T) {
 }
 
 func TestRunCaching(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	a := r.Run("bfs", "radix", false)
 	b := r.Run("bfs", "radix", false)
@@ -163,9 +169,7 @@ func TestRunCaching(t *testing.T) {
 }
 
 func TestTailLatencyShape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation sweep")
-	}
+	skipSweep(t)
 	r := quickRunner()
 	res := r.TailLatency()
 	if res.ChurnOps == 0 {

@@ -9,9 +9,7 @@ import (
 )
 
 func TestGrowthBreakdown(t *testing.T) {
-	if testing.Short() {
-		t.Skip()
-	}
+	skipSweep(t)
 	r := NewRunner(Default())
 	name := "gups"
 	w := r.Workload(name)

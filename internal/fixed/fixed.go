@@ -97,6 +97,24 @@ func (q Q) Add(r Q) Q {
 	return s
 }
 
+// Neg returns -q with saturation: negating the most negative container
+// value yields the most positive, matching the Add/Mul clamp behaviour.
+func (q Q) Neg() Q {
+	if q == Q(math.MinInt64) {
+		return Q(math.MaxInt64)
+	}
+	return -q
+}
+
+// MulInt returns q scaled by an integer factor, floored to an integer — the
+// "how many slots does n pages cover" computation the OS performs when
+// sizing gapped tables with the same quantized slope the walker predicts
+// with. Computing it in fixed point keeps table sizing bit-for-bit
+// consistent with walk-time predictions.
+func (q Q) MulInt(n int64) int64 {
+	return q.Mul(FromInt(n)).Floor()
+}
+
 // Mul returns q * r in fixed point using a 128-bit intermediate so that the
 // full Q44.20 dynamic range is preserved. This is the single multiplication
 // performed by the LVM page walker per node.

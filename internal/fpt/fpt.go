@@ -146,13 +146,13 @@ func (t *Table) FoldedFraction() float64 {
 func (t *Table) upperPA(v addr.VPN) addr.PA {
 	idx := uint64(v) >> upperIndexBits
 	span := phys.BlockBytes(foldOrder) / pte.Bytes
-	return addr.PA(uint64(t.upperBase)<<addr.PageShift) + addr.PA(idx%span*pte.Bytes)
+	return addr.SlotPA(t.upperBase, idx%span, pte.Bytes)
 }
 
 func (t *Table) leafPA(r *region, v addr.VPN) addr.PA {
 	idx := uint64(v) & ((1 << upperIndexBits) - 1)
 	if r.folded {
-		return addr.PA(uint64(r.base)<<addr.PageShift) + addr.PA(idx*pte.Bytes)
+		return addr.SlotPA(r.base, idx, pte.Bytes)
 	}
 	// Unfolded: one real 4 KB PTE table per 2 MB sub-region, like radix.
 	sub := uint64(v) >> 9
@@ -165,11 +165,11 @@ func (t *Table) leafPA(r *region, v addr.VPN) addr.PA {
 		}
 		r.leafPages[sub] = page
 	}
-	return addr.PA(uint64(page)<<addr.PageShift) + addr.PA(idx%512*pte.Bytes)
+	return addr.SlotPA(page, idx%512, pte.Bytes)
 }
 
 func (t *Table) pmdPA(r *region, v addr.VPN) addr.PA {
-	return addr.PA(uint64(r.pmdBase)<<addr.PageShift) + addr.PA(uint64(v)>>9%512*pte.Bytes)
+	return addr.SlotPA(r.pmdBase, uint64(v)>>9%512, pte.Bytes)
 }
 
 // Release returns every table allocation — the upper fold, folded leaf

@@ -83,6 +83,7 @@ func TestLookupBinaryFindsAcrossTable(t *testing.T) {
 	v := addr.VPN(10000)
 	for slot < 3900 {
 		v += addr.VPN(1 + rng.Intn(3))
+		//lint:allow addrtypes identity VPN=PPN mapping keeps the test's expected entries self-describing
 		tb.Set(slot, pte.Tagged{Tag: v, Entry: pte.New(addr.PPN(v), addr.Page4K)})
 		tags = append(tags, v)
 		slot += 1 + rng.Intn(3) // leaves gaps, sometimes whole empty clusters

@@ -108,7 +108,7 @@ func (t *Table) Extents() int {
 	runs := 0
 	var nextPA addr.PA
 	for i, e := range t.extents {
-		pa := addr.PA(uint64(e.base) << addr.PageShift)
+		pa := addr.PAOf(e.base)
 		if i == 0 || pa != nextPA {
 			runs++
 		}
@@ -131,7 +131,7 @@ func (t *Table) FootprintBytes() uint64 {
 func (t *Table) SlotPA(i int) addr.PA {
 	for _, e := range t.extents {
 		if i >= e.start && i < e.start+e.slots {
-			return addr.PA(uint64(e.base)<<addr.PageShift) + addr.PA((i-e.start)*SlotBytes)
+			return addr.SlotPA(e.base, uint64(i-e.start), SlotBytes)
 		}
 	}
 	panic(fmt.Sprintf("gapped: slot %d out of range (cap %d)", i, len(t.slots)))

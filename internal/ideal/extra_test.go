@@ -17,7 +17,7 @@ func TestSlotPAsDenseAndUniquePerSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lo := addr.PA(uint64(tb.base) << addr.PageShift)
+	lo := addr.PAOf(tb.base)
 	hi := lo + addr.PA(tb.slots*pte.Bytes)
 	for _, size := range []addr.PageSize{addr.Page4K, addr.Page2M} {
 		seen := map[addr.PA]addr.VPN{}

@@ -79,7 +79,7 @@ func (t *Table) Lookup(v addr.VPN) (pte.Entry, bool) {
 func (t *Table) entryPA(v addr.VPN, size addr.PageSize) addr.PA {
 	granule := uint64(v) / size.BaseVPNs()
 	slot := granule & (t.slots - 1)
-	return addr.PA(uint64(t.base)<<addr.PageShift) + addr.PA(slot*pte.Bytes)
+	return addr.SlotPA(t.base, slot, pte.Bytes)
 }
 
 // Release returns the dense table block to the allocator (process exit).

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const addrPkg = ModulePath + "/internal/addr"
+
+// addrNames are the four address types whose direct cross-conversion the
+// analyzer forbids.
+var addrNames = []string{"VA", "PA", "VPN", "PPN"}
+
+// AddrTypes flags direct conversions between addr.VA, addr.PA, addr.VPN and
+// addr.PPN outside internal/addr — including laundering through an
+// intermediate integer conversion such as addr.PPN(uint64(vpn)). A VPN↔PPN
+// mix-up produces plausible-looking but wrong walk counts; the only
+// sanctioned routes are the named helpers (addr.VPNOf, addr.VAOf,
+// addr.Translate, pte.Entry.PPN, …) whose signatures document which side of
+// the translation each value lives on.
+var AddrTypes = &Analyzer{
+	Name: "addrtypes",
+	Doc:  "flags direct conversions between addr.VA/PA/VPN/PPN (incl. via uint64) outside internal/addr",
+	Run:  runAddrTypes,
+}
+
+// addrMember returns the name of the addr quartet member t is, or "".
+func addrMember(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for _, name := range addrNames {
+		if isNamed(t, addrPkg, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+func runAddrTypes(pass *Pass) {
+	if pass.PkgPath == addrPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := addrMember(tv.Type)
+			if dst == "" {
+				return true
+			}
+			src := pass.rootAddrMember(call.Args[0])
+			if src != "" && src != dst {
+				pass.Reportf(call.Pos(), "direct addr.%s→addr.%s conversion; use the named addr translation helpers (VPNOf/VAOf/Translate/…)", src, dst)
+			}
+			return true
+		})
+	}
+}
+
+// rootAddrMember unwraps parentheses, conversions through plain integer
+// types, and integer arithmetic to find the addr quartet member an
+// expression originates from. This catches addr.PPN(vpn), the laundered
+// addr.PPN(uint64(vpn)), and derived values like addr.PPN(uint64(vpn)+1).
+func (p *Pass) rootAddrMember(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if m := addrMember(p.Info.TypeOf(e)); m != "" {
+		return m
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if len(e.Args) != 1 {
+			return ""
+		}
+		tv, ok := p.Info.Types[e.Fun]
+		if !ok || !tv.IsType() {
+			return ""
+		}
+		if b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return ""
+		}
+		return p.rootAddrMember(e.Args[0])
+	case *ast.BinaryExpr:
+		if m := p.rootAddrMember(e.X); m != "" {
+			return m
+		}
+		return p.rootAddrMember(e.Y)
+	case *ast.UnaryExpr:
+		return p.rootAddrMember(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+const fixedPkg = ModulePath + "/internal/fixed"
+
+// FixedQ flags raw integer arithmetic on fixed.Q values outside
+// internal/fixed. A Q44.20 value is an integer container with an implicit
+// 2^-20 scale factor; `a * b` on two Q values is off by 2^20 and `q + 3`
+// adds 3·2^-20, so every combination must go through the fixed helpers
+// (Mul, Add, Neg, MulAdd, FromInt, FromFloat), which carry the rescaling
+// and saturation the hardware performs (paper §4.5).
+//
+// Comparisons (==, <, …) are allowed: Q values of equal scale order
+// identically to their real values.
+var FixedQ = &Analyzer{
+	Name: "fixedq",
+	Doc:  "flags raw *, /, +, -, <<, … arithmetic involving fixed.Q outside internal/fixed",
+	Run:  runFixedQ,
+}
+
+// arithOps are the value-producing operators that silently break the Q44.20
+// scale invariant.
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+// arithAssignOps are the corresponding compound assignments.
+var arithAssignOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD, token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL, token.QUO_ASSIGN: token.QUO,
+	token.REM_ASSIGN: token.REM, token.AND_ASSIGN: token.AND,
+	token.OR_ASSIGN: token.OR, token.XOR_ASSIGN: token.XOR,
+	token.SHL_ASSIGN: token.SHL, token.SHR_ASSIGN: token.SHR,
+	token.AND_NOT_ASSIGN: token.AND_NOT,
+}
+
+func runFixedQ(pass *Pass) {
+	if pass.PkgPath == fixedPkg {
+		return
+	}
+	isQ := func(e ast.Expr) bool {
+		t := pass.Info.TypeOf(e)
+		return t != nil && isNamed(t, fixedPkg, "Q")
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithOps[n.Op] && (isQ(n.X) || isQ(n.Y)) {
+					pass.Reportf(n.OpPos, "raw %s arithmetic on fixed.Q; use the fixed helpers (Mul/Add/Neg/MulAdd/FromInt)", n.Op)
+				}
+			case *ast.UnaryExpr:
+				if (n.Op == token.SUB || n.Op == token.ADD || n.Op == token.XOR) && isQ(n.X) {
+					pass.Reportf(n.OpPos, "raw unary %s on fixed.Q; use fixed.Q.Neg", n.Op)
+				}
+			case *ast.AssignStmt:
+				if op, ok := arithAssignOps[n.Tok]; ok && len(n.Lhs) == 1 && isQ(n.Lhs[0]) {
+					pass.Reportf(n.TokPos, "raw %s= on fixed.Q; use the fixed helpers (Mul/Add/Neg/MulAdd/FromInt)", op)
+				}
+			case *ast.IncDecStmt:
+				if isQ(n.X) {
+					pass.Reportf(n.TokPos, "raw %s on fixed.Q; use the fixed helpers (Add/FromInt)", n.Tok)
+				}
+			}
+			return true
+		})
+	}
+}

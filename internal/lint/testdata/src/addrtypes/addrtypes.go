@@ -1,0 +1,36 @@
+// Seeded violations for the addrtypes analyzer: direct and laundered
+// conversions between the four address types, plus the legitimate uses that
+// must stay clean.
+package addrtypes
+
+import "lvm/internal/addr"
+
+func direct(v addr.VPN, p addr.PPN, va addr.VA, pa addr.PA) {
+	_ = addr.PPN(v)  // want `direct addr\.VPN→addr\.PPN conversion`
+	_ = addr.VPN(p)  // want `direct addr\.PPN→addr\.VPN conversion`
+	_ = addr.PA(va)  // want `direct addr\.VA→addr\.PA conversion`
+	_ = addr.VA(pa)  // want `direct addr\.PA→addr\.VA conversion`
+	_ = addr.VPN(va) // want `direct addr\.VA→addr\.VPN conversion`
+}
+
+func laundered(v addr.VPN, pa addr.PA) {
+	_ = addr.PPN(uint64(v))       // want `direct addr\.VPN→addr\.PPN conversion`
+	_ = addr.PPN(uint(uint64(v))) // want `direct addr\.VPN→addr\.PPN conversion`
+	_ = addr.VPN((uint64(pa)))    // want `direct addr\.PA→addr\.VPN conversion`
+}
+
+func derived(v addr.VPN, p addr.PPN) {
+	_ = addr.PA(p << 12)      // want `direct addr\.PPN→addr\.PA conversion`
+	_ = addr.PPN(uint64(v)+1) // want `direct addr\.VPN→addr\.PPN conversion`
+}
+
+func clean(v addr.VPN, va addr.VA, p addr.PPN) {
+	_ = addr.VPN(v)              // same-type conversion: allowed
+	_ = uint64(v)                // extracting the raw number: allowed
+	_ = addr.PPN(uint64(99))     // constant provenance: allowed
+	_ = addr.VPNOf(va)           // the named helpers are the sanctioned route
+	_ = addr.VAOf(v)
+	_ = addr.Translate(va, p, addr.Page4K)
+	var raw uint64 = 7
+	_ = addr.PPN(raw) // plain integer variable: provenance unknown, allowed
+}

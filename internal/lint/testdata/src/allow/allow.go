@@ -1,0 +1,31 @@
+// Suppression coverage: //lint:allow <analyzer> <reason> must silence a
+// diagnostic on the same line or the line directly above, must require a
+// reason, and must only apply to the named analyzer. The test runs the
+// fixedq analyzer over this package.
+package allow
+
+import "lvm/internal/fixed"
+
+func sameLine(a, b fixed.Q) fixed.Q {
+	return a + b //lint:allow fixedq reference implementation cross-checked against fixed.Add in tests
+}
+
+func lineAbove(a, b fixed.Q) fixed.Q {
+	//lint:allow fixedq container-level bit trick validated by TestAllowPatterns
+	c := a & b
+	return c
+}
+
+func missingReason(a, b fixed.Q) fixed.Q {
+	return a * b //lint:allow fixedq // want `raw \* arithmetic on fixed\.Q` `malformed //lint:allow`
+}
+
+func wrongAnalyzer(a, b fixed.Q) fixed.Q {
+	return a - b //lint:allow nondeterm reason naming another analyzer does not suppress fixedq // want `raw - arithmetic on fixed\.Q`
+}
+
+func tooFarAway(a, b fixed.Q) fixed.Q {
+	//lint:allow fixedq an allow two lines above the violation is out of range
+
+	return a / b // want `raw / arithmetic on fixed\.Q`
+}

@@ -1,0 +1,42 @@
+// Seeded violations for the fixedq analyzer: every raw operator that would
+// silently break the Q44.20 scale invariant, plus the sanctioned helper
+// calls that must stay clean.
+package fixedq
+
+import "lvm/internal/fixed"
+
+func binaryOps(a, b fixed.Q) fixed.Q {
+	c := a + b          // want `raw \+ arithmetic on fixed\.Q`
+	c = a * b           // want `raw \* arithmetic on fixed\.Q`
+	c = a / b           // want `raw / arithmetic on fixed\.Q`
+	c = a - b           // want `raw - arithmetic on fixed\.Q`
+	c = a % b           // want `raw % arithmetic on fixed\.Q`
+	c = a << 2          // want `raw << arithmetic on fixed\.Q`
+	c = a >> 2          // want `raw >> arithmetic on fixed\.Q`
+	c = a & b           // want `raw & arithmetic on fixed\.Q`
+	c = a + fixed.One*2 // want `raw \+ arithmetic on fixed\.Q` `raw \* arithmetic on fixed\.Q`
+	return c
+}
+
+func mixedOperands(a fixed.Q, n int64) fixed.Q {
+	return a * fixed.Q(n) // want `raw \* arithmetic on fixed\.Q`
+}
+
+func unaryAndAssign(a, b fixed.Q) fixed.Q {
+	c := -a // want `raw unary - on fixed\.Q`
+	c += b  // want `raw \+= on fixed\.Q`
+	c <<= 1 // want `raw <<= on fixed\.Q`
+	c++     // want `raw \+\+ on fixed\.Q`
+	return c
+}
+
+func clean(a, b fixed.Q, n int64) fixed.Q {
+	c := a.Mul(b).Add(fixed.FromInt(n)).Neg()
+	c = fixed.MulAdd(a, b, c)
+	if a < b || a == b || c >= fixed.One { // comparisons preserve order: allowed
+		return c
+	}
+	_ = a.Floor()
+	_ = a.MulInt(n)
+	return fixed.FromFloat(0.5)
+}

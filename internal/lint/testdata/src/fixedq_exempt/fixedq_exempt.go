@@ -1,0 +1,10 @@
+// The fixedq analyzer must stay silent inside internal/fixed itself — the
+// helpers are exactly where raw container arithmetic is implemented. The
+// test loads this package under the import path lvm/internal/fixed.
+package fixedq_exempt
+
+import "lvm/internal/fixed"
+
+func rawContainerMath(a, b fixed.Q) fixed.Q {
+	return a + b<<1 // no diagnostics: in-package raw arithmetic is the implementation
+}

@@ -1,0 +1,37 @@
+// Seeded violations for the floatfree analyzer. The test loads this package
+// under the import path lvm/internal/tlb — a hardware-model package where
+// every non-reporting function must stay float-free.
+package floatfree
+
+import "lvm/internal/fixed"
+
+func lookupCost(hits, total uint64) int {
+	weight := float64(hits) * 1.5 // want `float arithmetic in hardware-model hot path`
+	bias := 2.0 / float64(total)  // want `float arithmetic in hardware-model hot path`
+	acc := 0.0
+	acc += weight // want `float arithmetic in hardware-model hot path`
+	neg := -bias  // want `float arithmetic in hardware-model hot path`
+	return int(acc + neg) // want `float arithmetic in hardware-model hot path`
+}
+
+func fixedPointIsClean(hits, total int64) int64 {
+	w := fixed.FromInt(hits).Mul(fixed.FromFloat(1.5))
+	return w.Add(fixed.FromInt(total)).Floor()
+}
+
+// HitRate is a reporting helper (name ends in Rate): float division for
+// stats output is allowlisted.
+func HitRate(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// String is a reporting helper: allowlisted.
+func (s stats) String() string {
+	_ = float64(s.hits) / float64(s.total)
+	return "stats"
+}
+
+type stats struct{ hits, total uint64 }

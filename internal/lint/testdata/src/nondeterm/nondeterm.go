@@ -1,0 +1,88 @@
+// Seeded violations for the nondeterm analyzer. The test loads this package
+// under the import path lvm/internal/sim, so the map-iteration rule — which
+// only applies to the simulator packages — is active.
+package nondeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `wall-clock read time\.Now`
+	d := time.Since(t) // want `wall-clock read time\.Since`
+	return int64(d)
+}
+
+func globalRand() int {
+	r := rand.New(rand.NewSource(42)) // seeded instance: the sanctioned route
+	n := r.Intn(8)
+	n += rand.Intn(8) // want `global math/rand function rand\.Intn`
+	_ = rand.Float64() // want `global math/rand function rand\.Float64`
+	return n
+}
+
+func orderDependent(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order leaks into results`
+		out = append(out, v*2)
+	}
+	return out
+}
+
+func firstWins(m map[string]int) string {
+	best := ""
+	for k := range m { // want `map iteration order leaks into results`
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func commutative(m map[string]int) (int, bool) {
+	total := 0
+	count := 0
+	any := false
+	for _, v := range m { // commutative integer accumulation: order-insensitive
+		total += v
+		count++
+		any = true
+	}
+	return total + count, any
+}
+
+func collectAndSort(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collected and sorted below: deterministic
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectAndSliceSort(m map[uint64]int) []uint64 {
+	var keys []uint64
+	for k := range m { // sorted via sort.Slice below: deterministic
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into results`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func rangeOverSlice(xs []int) []int {
+	var out []int
+	for _, v := range xs { // slices iterate in order: never flagged
+		out = append(out, v)
+	}
+	return out
+}

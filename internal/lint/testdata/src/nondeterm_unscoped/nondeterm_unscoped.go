@@ -1,0 +1,18 @@
+// The map-iteration rule is scoped to the simulator packages; the
+// wall-clock and global-rand rules apply module-wide. The test loads this
+// package under lvm/internal/workload (outside the map-rule scope).
+package nondeterm_unscoped
+
+import "time"
+
+func mapsAreFineHere(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // outside internal/{sim,core,experiments,oskernel}: not flagged
+		out = append(out, v)
+	}
+	return out
+}
+
+func clockIsStillBanned() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}

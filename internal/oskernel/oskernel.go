@@ -10,6 +10,7 @@ package oskernel
 
 import (
 	"fmt"
+	"sort"
 
 	"lvm/internal/addr"
 	"lvm/internal/asap"
@@ -509,7 +510,16 @@ func (s *System) Kill(asid uint16) error {
 		p.LvmIx.Release()
 		s.lvmWalker.Detach(asid)
 	}
-	for _, dp := range p.dataPages {
+	// Free in VPN order: releasing in map-iteration order would scramble
+	// the buddy allocator's free lists run to run, making every later
+	// allocation — and therefore every later result — nondeterministic.
+	vpns := make([]addr.VPN, 0, len(p.dataPages))
+	for v := range p.dataPages {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, v := range vpns {
+		dp := p.dataPages[v]
 		s.Mem.Free(dp.base, dp.order)
 	}
 	delete(s.procs, asid)

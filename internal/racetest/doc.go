@@ -1,0 +1,5 @@
+// Package racetest exposes whether the race detector is compiled in, so
+// heavyweight end-to-end tests can skip themselves under the 10–20×
+// -race slowdown (which would push whole-sweep packages past the per-package
+// test timeout) while the cheap tests keep full race coverage.
+package racetest

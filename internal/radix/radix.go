@@ -28,7 +28,7 @@ type tableNode struct {
 }
 
 func (n *tableNode) entryPA(index int) addr.PA {
-	return addr.PA(uint64(n.ppn)<<addr.PageShift) + addr.PA(index*pte.Bytes)
+	return addr.SlotPA(n.ppn, uint64(index), pte.Bytes)
 }
 
 // Table is one process's radix page table.

@@ -225,6 +225,7 @@ func (c *CPU) Run(asid uint16, w *workload.Workload) Result {
 // translation at all; only LLC misses trigger a radix walk to reach DRAM.
 func (c *CPU) runMidgard(asid uint16, a workload.Access, v addr.VPN, res *Result) {
 	// VMA-level Midgard translation is a handful of registers: free.
+	//lint:allow addrtypes Midgard's cache hierarchy is indexed by the intermediate (virtual) address, so the VA bits are reinterpreted as the cache key on purpose
 	lat := c.caches.Access(addr.PA(a.VA), false)
 	llcMiss := lat > c.cfg.Cache.L3.LatencyCycles
 	res.Cycles += float64(lat) * (1 - c.cfg.DataOverlap)

@@ -1,0 +1,29 @@
+// Package wallclock is the single sanctioned source of wall-clock time in
+// this repository, and exists to make the nondeterm analyzer's allowlist
+// explicit: any other package calling time.Now is a lint violation.
+//
+// Wall-clock readings are measurement-only — how long an experiment took to
+// run on the host. They must never feed back into simulated behavior:
+// every simulated quantity (cycles, walk counts, miss rates) is derived
+// from the deterministic simulation clock so that EXPERIMENTS.md results
+// reproduce bit-for-bit on any machine.
+package wallclock
+
+import "time"
+
+// Stopwatch measures elapsed host time for throughput reporting.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins a measurement.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()}
+}
+
+// Seconds returns the elapsed host seconds since Start. The value is
+// inherently nondeterministic and must only be printed, never stored in
+// results that are compared across runs.
+func (s Stopwatch) Seconds() float64 {
+	return time.Since(s.start).Seconds()
+}
