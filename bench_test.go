@@ -37,7 +37,6 @@ func runner() *experiments.Runner {
 			cfg = experiments.Quick()
 		}
 		benchR = experiments.NewRunner(cfg)
-		benchR.SetQuiet(true)
 	})
 	return benchR
 }
@@ -48,7 +47,11 @@ func BenchmarkFig2GapCoverage(b *testing.B) {
 	r := runner()
 	var min float64
 	for i := 0; i < b.N; i++ {
-		min = r.Fig2GapCoverage().Min
+		res, err := r.Fig2GapCoverage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		min = res.Min
 	}
 	b.ReportMetric(100*min, "min-coverage-%")
 }
@@ -57,7 +60,10 @@ func BenchmarkFig3Contiguity(b *testing.B) {
 	r := runner()
 	var at256K, at256M float64
 	for i := 0; i < b.N; i++ {
-		res := r.Fig3Contiguity()
+		res, err := r.Fig3Contiguity()
+		if err != nil {
+			b.Fatal(err)
+		}
 		at256K, at256M = res.Fraction[256<<10], res.Fraction[256<<20]
 	}
 	b.ReportMetric(100*at256K, "contig-256KB-%")
@@ -68,7 +74,11 @@ func BenchmarkFig9Speedup(b *testing.B) {
 	r := runner()
 	var res experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
-		res = r.Fig9Speedups()
+		var err error
+		res, err = r.Fig9Speedups()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*(res.AvgLVM4K-1), "lvm-4K-speedup-%")
 	b.ReportMetric(100*(res.AvgLVMTHP-1), "lvm-THP-speedup-%")
@@ -80,7 +90,11 @@ func BenchmarkFig10MMUOverhead(b *testing.B) {
 	r := runner()
 	var res experiments.Fig10Result
 	for i := 0; i < b.N; i++ {
-		res = r.Fig10MMUOverhead()
+		var err error
+		res, err = r.Fig10MMUOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*(1-res.AvgLVM4K), "lvm-mmu-reduction-4K-%")
 	b.ReportMetric(100*(1-res.AvgLVMTHP), "lvm-mmu-reduction-THP-%")
@@ -92,7 +106,11 @@ func BenchmarkFig11WalkTraffic(b *testing.B) {
 	r := runner()
 	var res experiments.Fig11Result
 	for i := 0; i < b.N; i++ {
-		res = r.Fig11WalkTraffic()
+		var err error
+		res, err = r.Fig11WalkTraffic()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.AvgLVM4K, "lvm-traffic-vs-radix-4K")
 	b.ReportMetric(res.AvgECPT4K, "ecpt-traffic-vs-radix-4K")
@@ -105,7 +123,11 @@ func BenchmarkFig12CacheMPKI(b *testing.B) {
 	r := runner()
 	var res experiments.Fig12Result
 	for i := 0; i < b.N; i++ {
-		res = r.Fig12CacheMPKI()
+		var err error
+		res, err = r.Fig12CacheMPKI()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.AvgLVML2, "lvm-L2-mpki-vs-radix")
 	b.ReportMetric(res.AvgLVML3, "lvm-L3-mpki-vs-radix")
@@ -117,7 +139,11 @@ func BenchmarkTable2IndexSize(b *testing.B) {
 	r := runner()
 	var res experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res = r.Table2IndexSize()
+		var err error
+		res, err = r.Table2IndexSize()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	var sum4K, n float64
 	for _, s := range res.Size4K {
@@ -139,7 +165,11 @@ func BenchmarkCollisionRates(b *testing.B) {
 	r := runner()
 	var res experiments.CollisionResult
 	for i := 0; i < b.N; i++ {
-		res = r.CollisionRates()
+		var err error
+		res, err = r.CollisionRates()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*res.AvgLVM4K, "lvm-collisions-4K-%")
 	b.ReportMetric(100*res.AvgLVMTHP, "lvm-collisions-THP-%")
@@ -151,7 +181,11 @@ func BenchmarkRetrainStats(b *testing.B) {
 	r := runner()
 	var res experiments.RetrainResult
 	for i := 0; i < b.N; i++ {
-		res = r.RetrainStats()
+		var err error
+		res, err = r.RetrainStats()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(res.Max), "max-retrain-events")
 	b.ReportMetric(res.Avg, "avg-retrain-events")
@@ -162,7 +196,11 @@ func BenchmarkMemoryOverhead(b *testing.B) {
 	r := runner()
 	var res experiments.MemoryOverheadResult
 	for i := 0; i < b.N; i++ {
-		res = r.MemoryOverhead()
+		var err error
+		res, err = r.MemoryOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	var lvmSum, ecptSum float64
 	for name := range res.LVM {
@@ -177,7 +215,11 @@ func BenchmarkFragmentationRobustness(b *testing.B) {
 	r := runner()
 	var res experiments.FragmentationResult
 	for i := 0; i < b.N; i++ {
-		res = r.FragmentationRobustness()
+		var err error
+		res, err = r.FragmentationRobustness()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*(res.Speedups["fresh"]-1), "speedup-fresh-%")
 	b.ReportMetric(100*(res.Speedups["cap 256KB"]-1), "speedup-256KB-cap-%")
@@ -189,7 +231,11 @@ func BenchmarkWalkCacheMissRates(b *testing.B) {
 	r := runner()
 	var res experiments.WalkCacheResult
 	for i := 0; i < b.N; i++ {
-		res = r.WalkCacheMissRates()
+		var err error
+		res, err = r.WalkCacheMissRates()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	var tlbSum, pdeSum, lwcSum, n float64
 	for name := range res.L2TLBMiss {
@@ -207,7 +253,11 @@ func BenchmarkPTWL1Connection(b *testing.B) {
 	r := runner()
 	var res experiments.PTWL1Result
 	for i := 0; i < b.N; i++ {
-		res = r.PTWL1Connection()
+		var err error
+		res, err = r.PTWL1Connection()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*(res.SpeedupL1-1), "lvm-speedup-PTW-L1-%")
 	b.ReportMetric(100*(res.SpeedupL2-1), "lvm-speedup-PTW-L2-%")
@@ -219,7 +269,11 @@ func BenchmarkMultiTenancy(b *testing.B) {
 	r := runner()
 	var res experiments.MultiTenancyResult
 	for i := 0; i < b.N; i++ {
-		res = r.MultiTenancy()
+		var err error
+		res, err = r.MultiTenancy()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*res.MaxDelta, "max-speedup-delta-%")
 }
@@ -228,7 +282,11 @@ func BenchmarkTailLatency(b *testing.B) {
 	r := runner()
 	var res experiments.TailLatencyResult
 	for i := 0; i < b.N; i++ {
-		res = r.TailLatency()
+		var err error
+		res, err = r.TailLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.StaticP99, "p99-static-cycles")
 	b.ReportMetric(res.ChurnP99, "p99-churn-cycles")
@@ -239,7 +297,11 @@ func BenchmarkHardwareArea(b *testing.B) {
 	r := runner()
 	var res experiments.HardwareResult
 	for i := 0; i < b.N; i++ {
-		res = r.HardwareArea()
+		var err error
+		res, err = r.HardwareArea()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.Cmp.SizeX, "size-improvement-x")
 	b.ReportMetric(res.Cmp.AreaX, "area-improvement-x")
@@ -251,7 +313,11 @@ func BenchmarkPriorWork(b *testing.B) {
 	r := runner()
 	var res experiments.PriorWorkResult
 	for i := 0; i < b.N; i++ {
-		res = r.PriorWork()
+		var err error
+		res, err = r.PriorWork()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(100*(res.LVM-1), "lvm-speedup-%")
 	b.ReportMetric(100*(res.ASAP-1), "asap-speedup-%")

@@ -2,120 +2,73 @@
 // evaluation (§7) and prints them in order. This is the reproduction's
 // headline artifact: run it and compare against EXPERIMENTS.md.
 //
+// The pipeline is plan/execute: the selected experiments declare the
+// simulations they need, the scheduler dedupes that run matrix and
+// executes it on -j workers under a memory budget, and the tables are
+// rendered afterwards in registry order. Tables go to stdout and are
+// bit-for-bit identical at any -j; progress and timings go to stderr.
+//
 // Usage:
 //
 //	lvmbench              # full scale (several minutes)
 //	lvmbench -quick       # reduced scale (seconds)
-//	lvmbench -only fig9   # one experiment
+//	lvmbench -only fig9,table2
+//	lvmbench -j 8 -mem 64 # 8 workers under a 64 GiB simulated-memory budget
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
 
-	"lvm"
-	"lvm/internal/wallclock"
+	"lvm/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload scale")
-	only := flag.String("only", "", "run one experiment: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork")
+	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork")
+	workers := flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
+	memGiB := flag.Uint64("mem", 0, "memory budget in GiB bounding the summed simulated footprint of in-flight runs (0 = default 32)")
 	flag.Parse()
 
-	cfg := lvm.DefaultExperiments()
-	if *quick {
-		cfg = lvm.QuickExperiments()
+	if err := run(*quick, *only, *workers, *memGiB); err != nil {
+		fmt.Fprintf(os.Stderr, "lvmbench: %v\n", err)
+		os.Exit(1)
 	}
-	r := lvm.NewExperiments(cfg)
+}
 
-	type experiment struct {
-		key, title string
-		run        func()
-	}
-	exps := []experiment{
-		{"fig2", "Figure 2: virtual memory gap coverage (paper: min 78%)", func() {
-			res := r.Fig2GapCoverage()
-			fmt.Print(res.Table)
-			fmt.Printf("minimum coverage: %.1f%%\n", 100*res.Min)
-		}},
-		{"fig3", "Figure 3: contiguous free memory on an aged server (paper: ~30% at 256KB, ~0 at 100s of MB)", func() {
-			fmt.Print(r.Fig3Contiguity().Table)
-		}},
-		{"fig9", "Figure 9: end-to-end speedups vs radix (paper: LVM avg +14% 4KB / +7% THP, within 1% of ideal)", func() {
-			res := r.Fig9Speedups()
-			fmt.Print(res.Table)
-		}},
-		{"fig10", "Figure 10: MMU overhead vs radix (paper: LVM -39% 4KB / -29% THP; walk cycles -52%/-44%)", func() {
-			res := r.Fig10MMUOverhead()
-			fmt.Print(res.Table)
-			fmt.Printf("LVM walk-cycle reduction: %.1f%% (4KB), %.1f%% (THP); ECPT: %.1f%%, %.1f%%\n",
-				100*res.LVMWalkReduction4K, 100*res.LVMWalkReductionTHP,
-				100*res.ECPTWalkReduction4K, 100*res.ECPTWalkReductionTHP)
-		}},
-		{"fig11", "Figure 11: page walk traffic vs radix (paper: LVM -43%/-34%; ECPT 1.7x/2.1x)", func() {
-			res := r.Fig11WalkTraffic()
-			fmt.Print(res.Table)
-			fmt.Printf("averages: LVM %.2fx / %.2fx, ECPT %.2fx / %.2fx; LVM vs ideal %.3fx\n",
-				res.AvgLVM4K, res.AvgLVMTHP, res.AvgECPT4K, res.AvgECPTTHP, res.LVMvsIdeal)
-		}},
-		{"fig12", "Figure 12: cache MPKI vs radix (paper: LVM within ~1%; ECPT +44% L2 / +40% L3)", func() {
-			res := r.Fig12CacheMPKI()
-			fmt.Print(res.Table)
-			fmt.Printf("averages: LVM L2 %.3f L3 %.3f; ECPT L2 %.3f L3 %.3f\n",
-				res.AvgLVML2, res.AvgLVML3, res.AvgECPTL2, res.AvgECPTL3)
-		}},
-		{"table2", "Table 2: learned index size (paper: 96-192B steady state, footprint-independent)", func() {
-			fmt.Print(r.Table2IndexSize().Table)
-		}},
-		{"collisions", "§7.3 collision rates (paper: LVM 0.2%/0.6%; Blake2 hash 22%/19%; 2.36 extra accesses/collision)", func() {
-			res := r.CollisionRates()
-			fmt.Print(res.Table)
-			fmt.Printf("averages: LVM %.2f%%/%.2f%%, hash %.1f%%/%.1f%%, extra/coll %.2f\n",
-				100*res.AvgLVM4K, 100*res.AvgLVMTHP, 100*res.AvgHash4K, 100*res.AvgHashTHP, res.AvgExtraPerColl)
-		}},
-		{"retrain", "§7.3 retraining (paper: at most 3 events, avg 2; mgmt 1.17% avg / 1.91% peak, THP <0.01%)", func() {
-			res := r.RetrainStats()
-			fmt.Print(res.Table)
-			fmt.Printf("max events %d, avg %.1f, avg mgmt %.2f%%\n", res.Max, res.Avg, 100*res.AvgMgmt)
-		}},
-		{"memory", "§7.3 memory consumption beyond 8B/translation (paper: LVM < ECPT)", func() {
-			fmt.Print(r.MemoryOverhead().Table)
-		}},
-		{"fragmentation", "§7.3 fragmentation robustness (paper: performance flat, LWC hit >99%)", func() {
-			fmt.Print(r.FragmentationRobustness().Table)
-		}},
-		{"walkcaches", "§7.2 TLB/PWC/LWC rates (paper: L2 TLB miss 57-99%, PDE miss 60-99%, LWC hit >99%)", func() {
-			fmt.Print(r.WalkCacheMissRates().Table)
-		}},
-		{"ptwl1", "§7.2 PTW connected to L1 vs L2 (paper: +11% vs +14%; L1 MPKI +59% radix vs +38% LVM)", func() {
-			fmt.Print(r.PTWL1Connection().Table)
-		}},
-		{"multitenancy", "§7.1 multi-tenancy (paper: speedups within 0.5% of solo)", func() {
-			res := r.MultiTenancy()
-			fmt.Print(res.Table)
-			fmt.Printf("max delta: %.3f\n", res.MaxDelta)
-		}},
-		{"tail", "§7.3 memcached tail latency under LVM management churn (paper: p99 unaffected)", func() {
-			fmt.Print(r.TailLatency().Table)
-		}},
-		{"hardware", "§7.4 hardware area/power (paper: 3.0x size, 1.5x area, 1.9x power; walker 0.000637mm²)", func() {
-			fmt.Print(r.HardwareArea().Table)
-		}},
-		{"priorwork", "§7.5 ASAP / Midgard / FPT comparison", func() {
-			fmt.Print(r.PriorWork().Table)
-		}},
+func run(quick bool, only string, workers int, memGiB uint64) error {
+	cfg := experiments.Default()
+	if quick {
+		cfg = experiments.Quick()
 	}
 
-	for _, e := range exps {
-		if *only != "" && !strings.EqualFold(*only, e.key) {
-			continue
-		}
-		fmt.Printf("\n================================================================\n%s\n================================================================\n", e.title)
-		// Host-time throughput readout only; simulated results never depend
-		// on it (see internal/wallclock).
-		sw := wallclock.Start()
-		e.run()
-		fmt.Printf("[%s in %.1fs]\n", e.key, sw.Seconds())
+	var keys []string
+	if only != "" {
+		keys = strings.Split(only, ",")
 	}
+	exps, err := experiments.Select(keys...)
+	if err != nil {
+		return err
+	}
+
+	r := experiments.NewRunner(cfg)
+	r.SetSink(experiments.NewWriterSink(os.Stderr))
+	plan := experiments.NewPlan(cfg, exps)
+	fmt.Fprintf(os.Stderr, "plan: %d experiments, %d deduped runs, %d workers\n",
+		len(plan.Experiments), len(plan.Runs), workers)
+
+	results, err := r.ExecutePlan(plan, experiments.ExecOptions{
+		Workers:        workers,
+		MemBudgetBytes: memGiB << 30,
+	})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Print(res.Render())
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"lvm"
 )
@@ -17,8 +18,11 @@ func main() {
 	cfg := lvm.QuickExperiments()
 	cfg.Params.Seed = *seed
 	r := lvm.NewExperiments(cfg)
-	r.SetQuiet(true)
-	res := r.Fig2GapCoverage()
+	res, err := r.Fig2GapCoverage()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vastudy: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Print(res.Table)
 	fmt.Printf("\nminimum gap=1 coverage: %.1f%% (paper reports a 78%% floor)\n", 100*res.Min)
 }

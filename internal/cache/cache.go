@@ -55,6 +55,7 @@ type level struct {
 func newLevel(cfg LevelConfig) *level {
 	nsets := cfg.SizeBytes / LineBytes / cfg.Ways
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		//lint:allow nopanic compile-time geometry from sim.Config, never reachable from run inputs
 		panic("cache: set count must be a positive power of two")
 	}
 	l := &level{cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets)}
@@ -119,6 +120,7 @@ type Hierarchy struct {
 // New builds the hierarchy over the given DRAM model.
 func New(cfg Config, mem *dram.Model) *Hierarchy {
 	if cfg.WalkEntryLevel != 1 && cfg.WalkEntryLevel != 2 {
+		//lint:allow nopanic compile-time geometry from sim.Config, never reachable from run inputs
 		panic("cache: WalkEntryLevel must be 1 or 2")
 	}
 	return &Hierarchy{

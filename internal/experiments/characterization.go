@@ -28,7 +28,7 @@ type CollisionResult struct {
 // CollisionRates reproduces §7.3's collision study: LVM vs a Blake2 hash
 // table at load factor 0.6. Paper: LVM 0.2%/0.6%, hash 22%/19%; extra
 // accesses per collision avg 2.36 under C_err = 3.
-func (r *Runner) CollisionRates() CollisionResult {
+func (r *Runner) CollisionRates() (CollisionResult, error) {
 	res := CollisionResult{
 		LVM4K: map[string]float64{}, LVMTHP: map[string]float64{},
 		Hash4K: map[string]float64{}, HashTHP: map[string]float64{},
@@ -37,15 +37,21 @@ func (r *Runner) CollisionRates() CollisionResult {
 	var l4, lt, h4, ht, extra []float64
 	for _, thp := range []bool{false, true} {
 		for _, name := range r.Cfg.Workloads {
-			lv := r.Run(name, oskernel.SchemeLVM, thp)
+			lv, err := r.Run(name, oskernel.SchemeLVM, thp)
+			if err != nil {
+				return CollisionResult{}, err
+			}
 			// Hash baseline: insert the same translations into an
 			// open-addressing Blake2 table at load 0.6.
-			w := r.Workload(name)
+			w, err := r.Workload(name)
+			if err != nil {
+				return CollisionResult{}, err
+			}
 			trs := w.Space.Translations(thp)
 			h := hashpt.New(len(trs), hashpt.DefaultLoadFactor)
 			for _, tr := range trs {
 				if _, err := h.Insert(tr.VPN, entryFor(tr)); err != nil {
-					panic(err)
+					return CollisionResult{}, fmt.Errorf("collisions %s thp=%t: hash insert: %w", name, thp, err)
 				}
 			}
 			hc := h.CollisionRate()
@@ -70,7 +76,7 @@ func (r *Runner) CollisionRates() CollisionResult {
 	res.AvgHash4K, res.AvgHashTHP = stats.Mean(h4), stats.Mean(ht)
 	res.AvgExtraPerColl = stats.Mean(extra)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // entryFor builds a placeholder entry for the hash-table baseline (the
@@ -112,7 +118,7 @@ const paperWindowInstrs = 1e9
 //     execution window, the paper's simulated region of interest. Our
 //     traces sample fewer instructions, so run cycles are scaled up to
 //     that window at the workload's measured CPI.
-func (r *Runner) RetrainStats() RetrainResult {
+func (r *Runner) RetrainStats() (RetrainResult, error) {
 	res := RetrainResult{
 		Events:       map[string]uint64{},
 		MgmtFraction: map[string]float64{},
@@ -121,16 +127,20 @@ func (r *Runner) RetrainStats() RetrainResult {
 	tb := stats.NewTable("workload", "retrain events", "mgmt 4KB", "mgmt THP")
 	var evs, fracs []float64
 	for _, name := range r.Cfg.Workloads {
-		w := r.Workload(name)
-		mem := r.physFor(w)
-		sys := oskernel.NewSystem(mem, oskernel.SchemeLVM)
-		p, err := sys.Launch(1, w.Space, false)
+		w, err := r.Workload(name)
 		if err != nil {
-			panic(err)
+			return RetrainResult{}, err
+		}
+		sys, p, err := launchScaled(r.physFor(w), oskernel.SchemeLVM, w.Space, false)
+		if err != nil {
+			return RetrainResult{}, fmt.Errorf("retrain %s: launch: %w", name, err)
 		}
 		// Growth phase: extend the heap tail by ~12% beyond its current
 		// high-water mark (brk/mmap growth past the initially-trained span).
-		heap := heapOf(w.Space)
+		heap, err := heapOf(w.Space)
+		if err != nil {
+			return RetrainResult{}, fmt.Errorf("retrain %s: %w", name, err)
+		}
 		grow := heap.Span / 8
 		start := heap.Mapped[len(heap.Mapped)-1] + 1
 		for i := 0; i < grow; i++ {
@@ -146,16 +156,23 @@ func (r *Runner) RetrainStats() RetrainResult {
 		res.Events[name] = events
 		evs = append(evs, float64(events))
 		// Management fraction over the paper's 1B-instruction window.
-		frac := mgmtFraction(p.MgmtCycles, r.Run(name, oskernel.SchemeLVM, false).Sim)
+		run4k, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return RetrainResult{}, err
+		}
+		frac := mgmtFraction(p.MgmtCycles, run4k.Sim)
 		res.MgmtFraction[name] = frac
 		fracs = append(fracs, frac)
 		// THP: far fewer translations to manage (paper: < 0.01%).
-		thpSys := oskernel.NewSystem(r.physFor(w), oskernel.SchemeLVM)
-		tp, err := thpSys.Launch(1, w.Space, true)
+		_, tp, err := launchScaled(r.physFor(w), oskernel.SchemeLVM, w.Space, true)
 		if err != nil {
-			panic(err)
+			return RetrainResult{}, fmt.Errorf("retrain %s thp: launch: %w", name, err)
 		}
-		thpFrac := mgmtFraction(tp.MgmtCycles, r.Run(name, oskernel.SchemeLVM, true).Sim)
+		runTHP, err := r.Run(name, oskernel.SchemeLVM, true)
+		if err != nil {
+			return RetrainResult{}, err
+		}
+		thpFrac := mgmtFraction(tp.MgmtCycles, runTHP.Sim)
 		res.MgmtTHP[name] = thpFrac
 		tb.AddRow(name, events, pct(frac), pct(thpFrac))
 	}
@@ -167,7 +184,7 @@ func (r *Runner) RetrainStats() RetrainResult {
 	res.Avg = stats.Mean(evs)
 	res.AvgMgmt = stats.Mean(fracs)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // mgmtFraction scales a sampled run up to the paper's 1B-instruction
@@ -191,20 +208,29 @@ type MemoryOverheadResult struct {
 // MemoryOverhead reproduces §7.3: extra memory each structure uses beyond
 // the 8-byte-per-translation minimum. Paper: LVM ≤ 1.3× minimum (e.g.
 // +12 MB at 20 GB); ECPT +27 MB.
-func (r *Runner) MemoryOverhead() MemoryOverheadResult {
+func (r *Runner) MemoryOverhead() (MemoryOverheadResult, error) {
 	res := MemoryOverheadResult{
 		LVM: map[string]uint64{}, ECPT: map[string]uint64{}, Radix: map[string]uint64{},
 	}
 	tb := stats.NewTable("workload", "lvm overhead", "ecpt overhead", "radix overhead")
 	for _, name := range r.Cfg.Workloads {
-		lv := r.Run(name, oskernel.SchemeLVM, false).OverheadBytes
-		ec := r.Run(name, oskernel.SchemeECPT, false).OverheadBytes
-		rad := r.Run(name, oskernel.SchemeRadix, false).OverheadBytes
-		res.LVM[name], res.ECPT[name], res.Radix[name] = lv, ec, rad
-		tb.AddRow(name, byteLabel(lv), byteLabel(ec), byteLabel(rad))
+		lv, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return MemoryOverheadResult{}, err
+		}
+		ec, err := r.Run(name, oskernel.SchemeECPT, false)
+		if err != nil {
+			return MemoryOverheadResult{}, err
+		}
+		rad, err := r.Run(name, oskernel.SchemeRadix, false)
+		if err != nil {
+			return MemoryOverheadResult{}, err
+		}
+		res.LVM[name], res.ECPT[name], res.Radix[name] = lv.OverheadBytes, ec.OverheadBytes, rad.OverheadBytes
+		tb.AddRow(name, byteLabel(lv.OverheadBytes), byteLabel(ec.OverheadBytes), byteLabel(rad.OverheadBytes))
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // FragmentationResult carries §7.3's fragmentation robustness study.
@@ -219,11 +245,14 @@ type FragmentationResult struct {
 // FragmentationRobustness reproduces §7.3's fragmentation sweep: LVM with
 // contiguity capped at 256 KB and at FMFI 0.8/0.85/0.9 must keep its
 // speedup and LWC hit rate.
-func (r *Runner) FragmentationRobustness() FragmentationResult {
+func (r *Runner) FragmentationRobustness() (FragmentationResult, error) {
 	res := FragmentationResult{Speedups: map[string]float64{}, LWCHits: map[string]float64{}}
 	tb := stats.NewTable("environment", "lvm speedup vs radix", "lwc hit")
-	name := r.translationBoundWorkload()
-	w := r.Workload(name)
+	name := translationBoundWorkload(r.Cfg)
+	w, err := r.Workload(name)
+	if err != nil {
+		return FragmentationResult{}, err
+	}
 
 	levels := []struct {
 		label string
@@ -238,33 +267,37 @@ func (r *Runner) FragmentationRobustness() FragmentationResult {
 		{"FMFI 0.9", func(m *phys.Memory) { m.FragmentToFMFI(r.Cfg.Params.Seed, 9, 0.9) }},
 	}
 	for _, lvl := range levels {
-		run := func(scheme oskernel.Scheme) (float64, float64) {
+		run := func(scheme oskernel.Scheme) (cycles, hit float64, err error) {
 			// Fragmented memories need headroom: aged memories keep 25%
 			// free, so size at 4× footprint.
 			mem := phys.New(4*w.FootprintBytes() + r.Cfg.PhysSlackBytes)
 			lvl.prep(mem)
-			pwc, lwc := sim.ScaledHW()
-			sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
-			if _, err := sys.Launch(1, w.Space, false); err != nil {
-				panic(fmt.Sprintf("frag launch %s/%s: %v", lvl.label, scheme, err))
+			sys, _, err := launchScaled(mem, scheme, w.Space, false)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fragmentation %s/%s: launch: %w", lvl.label, scheme, err)
 			}
 			cpu := sim.New(r.Cfg.Sim, sys.Walker())
-			cycles := cpu.Run(1, w).Cycles
-			hit := 0.0
+			cycles = cpu.Run(1, w).Cycles
 			if lw := sys.LVMWalker(); lw != nil {
 				hit = lw.LWC().HitRate()
 			}
-			return cycles, hit
+			return cycles, hit, nil
 		}
-		radCycles, _ := run(oskernel.SchemeRadix)
-		lvmCycles, hit := run(oskernel.SchemeLVM)
+		radCycles, _, err := run(oskernel.SchemeRadix)
+		if err != nil {
+			return FragmentationResult{}, err
+		}
+		lvmCycles, hit, err := run(oskernel.SchemeLVM)
+		if err != nil {
+			return FragmentationResult{}, err
+		}
 		sp := speedup(radCycles, lvmCycles)
 		res.Speedups[lvl.label] = sp
 		res.LWCHits[lvl.label] = hit
 		tb.AddRow(lvl.label, sp, pct(hit))
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // WalkCacheResult carries §7.2's miss-rate characterization.
@@ -278,21 +311,27 @@ type WalkCacheResult struct {
 // WalkCacheMissRates reproduces §7.2: L2 TLB miss rates (57.5–99.4%,
 // scheme-independent), radix PMD-level PWC miss rates (59.7–99.6%), and
 // LVM LWC hit rates (> 99%).
-func (r *Runner) WalkCacheMissRates() WalkCacheResult {
+func (r *Runner) WalkCacheMissRates() (WalkCacheResult, error) {
 	res := WalkCacheResult{
 		L2TLBMiss: map[string]float64{}, PWCPDEMiss: map[string]float64{}, LWCHit: map[string]float64{},
 	}
 	tb := stats.NewTable("workload", "L2 TLB miss", "radix PDE miss", "LWC hit")
 	for _, name := range r.Cfg.Workloads {
-		rad := r.Run(name, oskernel.SchemeRadix, false)
-		lv := r.Run(name, oskernel.SchemeLVM, false)
+		rad, err := r.Run(name, oskernel.SchemeRadix, false)
+		if err != nil {
+			return WalkCacheResult{}, err
+		}
+		lv, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return WalkCacheResult{}, err
+		}
 		res.L2TLBMiss[name] = rad.Sim.L2TLBMiss
 		res.PWCPDEMiss[name] = rad.PWCPDEMissRate
 		res.LWCHit[name] = lv.LWCHitRate
 		tb.AddRow(name, pct(rad.Sim.L2TLBMiss), pct(rad.PWCPDEMissRate), pct(lv.LWCHitRate))
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // PTWL1Result carries §7.2's PTW-connection study.
@@ -307,27 +346,42 @@ type PTWL1Result struct {
 // PTWL1Connection reproduces §7.2's study: connecting page walkers to the
 // L1 cache. Paper: LVM +11% (L1) vs +14% (L2); L1 MPKI rises 59% for
 // radix but only 38% for LVM.
-func (r *Runner) PTWL1Connection() PTWL1Result {
+func (r *Runner) PTWL1Connection() (PTWL1Result, error) {
 	var res PTWL1Result
 	tb := stats.NewTable("config", "lvm speedup", "radix L1 MPKI", "lvm L1 MPKI")
-	name := r.translationBoundWorkload()
-	w := r.Workload(name)
+	name := translationBoundWorkload(r.Cfg)
+	w, err := r.Workload(name)
+	if err != nil {
+		return PTWL1Result{}, err
+	}
 	type out struct{ cycles, l1mpki float64 }
-	run := func(scheme oskernel.Scheme, entry int) out {
-		mem := r.physFor(w)
-		pwc, lwc := sim.ScaledHW()
-		sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
-		if _, err := sys.Launch(1, w.Space, false); err != nil {
-			panic(err)
+	run := func(scheme oskernel.Scheme, entry int) (out, error) {
+		sys, _, err := launchScaled(r.physFor(w), scheme, w.Space, false)
+		if err != nil {
+			return out{}, fmt.Errorf("ptw-l1 %s entry=L%d: launch: %w", scheme, entry, err)
 		}
 		cfg := r.Cfg.Sim
 		cfg.Cache.WalkEntryLevel = entry
 		cpu := sim.New(cfg, sys.Walker())
 		res := cpu.Run(1, w)
-		return out{res.Cycles, res.L1MPKI}
+		return out{res.Cycles, res.L1MPKI}, nil
 	}
-	radL2, radL1 := run(oskernel.SchemeRadix, 2), run(oskernel.SchemeRadix, 1)
-	lvmL2, lvmL1 := run(oskernel.SchemeLVM, 2), run(oskernel.SchemeLVM, 1)
+	radL2, err := run(oskernel.SchemeRadix, 2)
+	if err != nil {
+		return PTWL1Result{}, err
+	}
+	radL1, err := run(oskernel.SchemeRadix, 1)
+	if err != nil {
+		return PTWL1Result{}, err
+	}
+	lvmL2, err := run(oskernel.SchemeLVM, 2)
+	if err != nil {
+		return PTWL1Result{}, err
+	}
+	lvmL1, err := run(oskernel.SchemeLVM, 1)
+	if err != nil {
+		return PTWL1Result{}, err
+	}
 	res.SpeedupL2 = speedup(radL2.cycles, lvmL2.cycles)
 	res.SpeedupL1 = speedup(radL1.cycles, lvmL1.cycles)
 	res.RadixL1MPKIIncrease = radL1.l1mpki/radL2.l1mpki - 1
@@ -335,7 +389,7 @@ func (r *Runner) PTWL1Connection() PTWL1Result {
 	tb.AddRow("PTW->L2", res.SpeedupL2, radL2.l1mpki, lvmL2.l1mpki)
 	tb.AddRow("PTW->L1", res.SpeedupL1, radL1.l1mpki, lvmL1.l1mpki)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // MultiTenancyResult carries §7.1's stacked-workload study.
@@ -349,40 +403,54 @@ type MultiTenancyResult struct {
 // MultiTenancy reproduces §7.1's multi-tenant study: workloads run on
 // separate cores (private caches/TLBs per Table 1) with their own address
 // spaces; per-workload speedups must match the solo runs.
-func (r *Runner) MultiTenancy() MultiTenancyResult {
+func (r *Runner) MultiTenancy() (MultiTenancyResult, error) {
 	res := MultiTenancyResult{Solo: map[string]float64{}, Stacked: map[string]float64{}}
 	tb := stats.NewTable("workload", "solo speedup", "stacked speedup", "delta")
-	names := r.Cfg.Workloads
-	if len(names) > 4 {
-		names = names[:4]
-	}
+	names := tenancyNames(r.Cfg)
 	// Stacked: all processes share one OS/phys memory and scheme walker,
 	// each on its own core.
 	stackedCycles := map[string]float64{}
 	for _, scheme := range []oskernel.Scheme{oskernel.SchemeRadix, oskernel.SchemeLVM} {
 		var total uint64
 		for _, name := range names {
-			total += r.Workload(name).FootprintBytes()
+			w, err := r.Workload(name)
+			if err != nil {
+				return MultiTenancyResult{}, err
+			}
+			total += w.FootprintBytes()
 		}
 		mem := phys.New(total + total/2 + r.Cfg.PhysSlackBytes)
-		pwc, lwc := sim.ScaledHW()
-		sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+		sys := newScaledSystem(mem, scheme)
 		for i, name := range names {
-			if _, err := sys.Launch(uint16(i+1), r.Workload(name).Space, false); err != nil {
-				panic(err)
+			w, err := r.Workload(name)
+			if err != nil {
+				return MultiTenancyResult{}, err
+			}
+			if _, err := sys.Launch(uint16(i+1), w.Space, false); err != nil {
+				return MultiTenancyResult{}, fmt.Errorf("multitenancy %s/%s asid=%d: launch: %w", name, scheme, i+1, err)
 			}
 		}
 		for i, name := range names {
+			w, err := r.Workload(name)
+			if err != nil {
+				return MultiTenancyResult{}, err
+			}
 			cpu := sim.New(r.Cfg.Sim, sys.Walker())
-			cycles := cpu.Run(uint16(i+1), r.Workload(name)).Cycles
+			cycles := cpu.Run(uint16(i+1), w).Cycles
 			key := name + "/" + string(scheme)
 			stackedCycles[key] = cycles
 		}
 	}
 	for _, name := range names {
-		soloBase := r.Run(name, oskernel.SchemeRadix, false).Sim.Cycles
-		soloLVM := r.Run(name, oskernel.SchemeLVM, false).Sim.Cycles
-		solo := speedup(soloBase, soloLVM)
+		soloBase, err := r.Run(name, oskernel.SchemeRadix, false)
+		if err != nil {
+			return MultiTenancyResult{}, err
+		}
+		soloLVM, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return MultiTenancyResult{}, err
+		}
+		solo := speedup(soloBase.Sim.Cycles, soloLVM.Sim.Cycles)
 		stacked := speedup(stackedCycles[name+"/radix"], stackedCycles[name+"/lvm"])
 		res.Solo[name], res.Stacked[name] = solo, stacked
 		d := stacked - solo
@@ -395,7 +463,7 @@ func (r *Runner) MultiTenancy() MultiTenancyResult {
 		tb.AddRow(name, solo, stacked, d)
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // PriorWorkResult carries the §7.5 comparisons.
@@ -410,25 +478,43 @@ type PriorWorkResult struct {
 // PriorWork reproduces §7.5: ASAP (slower than ECPT and LVM from prefetch
 // traffic), Midgard (+3% over radix; LVM ahead), and FPT (close behind LVM
 // when unfragmented, degrading to radix under fragmentation).
-func (r *Runner) PriorWork() PriorWorkResult {
+func (r *Runner) PriorWork() (PriorWorkResult, error) {
 	var res PriorWorkResult
 	tb := stats.NewTable("scheme", "speedup vs radix")
-	name := r.translationBoundWorkload()
-	base := r.Run(name, oskernel.SchemeRadix, false).Sim.Cycles
-	res.LVM = speedup(base, r.Run(name, oskernel.SchemeLVM, false).Sim.Cycles)
-	res.ECPT = speedup(base, r.Run(name, oskernel.SchemeECPT, false).Sim.Cycles)
-	res.ASAP = speedup(base, r.Run(name, oskernel.SchemeASAP, false).Sim.Cycles)
-	res.Midgard = speedup(base, r.Run(name, oskernel.SchemeMidgard, false).Sim.Cycles)
-	res.FPT = speedup(base, r.Run(name, oskernel.SchemeFPT, false).Sim.Cycles)
+	name := translationBoundWorkload(r.Cfg)
+	rad, err := r.Run(name, oskernel.SchemeRadix, false)
+	if err != nil {
+		return PriorWorkResult{}, err
+	}
+	base := rad.Sim.Cycles
+	for _, sc := range []struct {
+		scheme oskernel.Scheme
+		dst    *float64
+	}{
+		{oskernel.SchemeLVM, &res.LVM},
+		{oskernel.SchemeECPT, &res.ECPT},
+		{oskernel.SchemeASAP, &res.ASAP},
+		{oskernel.SchemeMidgard, &res.Midgard},
+		{oskernel.SchemeFPT, &res.FPT},
+	} {
+		out, err := r.Run(name, sc.scheme, false)
+		if err != nil {
+			return PriorWorkResult{}, err
+		}
+		*sc.dst = speedup(base, out.Sim.Cycles)
+	}
 
 	// FPT under heavy fragmentation: 2MB table allocations fail.
-	w := r.Workload(name)
+	w, err := r.Workload(name)
+	if err != nil {
+		return PriorWorkResult{}, err
+	}
 	mem := phys.New(4*w.FootprintBytes() + r.Cfg.PhysSlackBytes)
 	mem.Fragment(r.Cfg.Params.Seed, phys.DatacenterFragmentation)
 	mem.SetContiguityCap(6)
-	sys := oskernel.NewSystem(mem, oskernel.SchemeFPT)
-	if _, err := sys.Launch(1, w.Space, false); err != nil {
-		panic(err)
+	sys, _, err := launchScaled(mem, oskernel.SchemeFPT, w.Space, false)
+	if err != nil {
+		return PriorWorkResult{}, fmt.Errorf("priorwork fpt fragmented: launch: %w", err)
 	}
 	cpu := sim.New(r.Cfg.Sim, sys.Walker())
 	res.FPTFragmented = speedup(base, cpu.Run(1, w).Cycles)
@@ -440,28 +526,29 @@ func (r *Runner) PriorWork() PriorWorkResult {
 	tb.AddRow("fpt", res.FPT)
 	tb.AddRow("fpt (fragmented)", res.FPTFragmented)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // translationBoundWorkload picks the most walk-intensive workload in the
 // sweep (gups when present) so single-workload studies measure the regime
-// where translation dominates.
-func (r *Runner) translationBoundWorkload() string {
-	for _, n := range r.Cfg.Workloads {
+// where translation dominates. It is a pure function of the config so the
+// planning phase can enumerate the same runs the compute phase will read.
+func translationBoundWorkload(cfg Config) string {
+	for _, n := range cfg.Workloads {
 		if n == "gups" {
 			return n
 		}
 	}
-	return r.Cfg.Workloads[0]
+	return cfg.Workloads[0]
 }
 
 // --- small helpers ----------------------------------------------------------
 
-func heapOf(s *vas.AddressSpace) *vas.Region {
+func heapOf(s *vas.AddressSpace) (*vas.Region, error) {
 	for i := range s.Regions {
 		if s.Regions[i].Kind == vas.Heap {
-			return &s.Regions[i]
+			return &s.Regions[i], nil
 		}
 	}
-	panic("experiments: no heap region")
+	return nil, fmt.Errorf("experiments: address space has no heap region")
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// A Sink receives progress events from the experiment pipeline. The runner
+// calls it from worker goroutines, so implementations must be safe for
+// concurrent use. Timings are host-side wall-clock measurements
+// (internal/wallclock) and are strictly observational: no simulated result
+// ever depends on them, and sinks should keep them off any stream that is
+// compared across runs.
+type Sink interface {
+	// RunStart fires when a simulation is admitted to a worker.
+	RunStart(key RunKey)
+	// RunDone fires when a simulation finishes (err is nil on success).
+	RunDone(key RunKey, hostSeconds float64, err error)
+	// ExperimentStart fires before an experiment's compute phase.
+	ExperimentStart(key, title string)
+	// ExperimentDone fires after an experiment's compute phase.
+	ExperimentDone(key string, hostSeconds float64, err error)
+}
+
+// NopSink discards all events; it is the default for benchmarks and tests.
+type NopSink struct{}
+
+func (NopSink) RunStart(RunKey)                       {}
+func (NopSink) RunDone(RunKey, float64, error)        {}
+func (NopSink) ExperimentStart(string, string)        {}
+func (NopSink) ExperimentDone(string, float64, error) {}
+
+// WriterSink streams human-readable progress lines to w. cmd/lvmbench
+// points it at stderr so that stdout — the tables — stays byte-identical
+// across runs and worker counts while live progress and timings remain
+// visible.
+type WriterSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink creates a sink writing progress lines to w.
+func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+func (s *WriterSink) printf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, format+"\n", args...)
+}
+
+func (s *WriterSink) RunStart(key RunKey) {
+	s.printf("  running %s...", key)
+}
+
+func (s *WriterSink) RunDone(key RunKey, sec float64, err error) {
+	if err != nil {
+		s.printf("  FAILED  %s after %.1fs: %v", key, sec, err)
+		return
+	}
+	s.printf("  done    %s in %.1fs", key, sec)
+}
+
+func (s *WriterSink) ExperimentStart(key, title string) {
+	s.printf("== %s: %s", key, title)
+}
+
+func (s *WriterSink) ExperimentDone(key string, sec float64, err error) {
+	if err != nil {
+		s.printf("== %s FAILED after %.1fs: %v", key, sec, err)
+		return
+	}
+	s.printf("== %s computed in %.1fs", key, sec)
+}

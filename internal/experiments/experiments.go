@@ -1,19 +1,31 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§7). Each experiment has one entry point that returns a
-// printable table plus the raw numbers; cmd/lvmbench drives them all and
-// bench_test.go wraps each as a testing.B benchmark.
+// evaluation (§7) through a two-phase plan/execute pipeline:
 //
-// Results are cached per (workload, scheme, page-size) so figures that
-// share runs (9–12) pay for each simulation once.
+//  1. Plan: each experiment is a declarative registry entry (Registry)
+//     whose Requires phase enumerates the (workload, scheme, THP)
+//     simulations it needs as RunKeys.
+//  2. Execute: the scheduler (ExecutePlan, built on internal/experiments/
+//     sched) dedupes the RunKeys across all selected experiments, runs
+//     them on a bounded worker pool under a memory budget, merges the
+//     outputs in deterministic key order, and only then invokes each
+//     experiment's compute phase over the cached runs.
+//
+// Output is bit-for-bit identical at any worker count, and every failure
+// on the workload-build/launch/run path propagates as a wrapped error
+// naming its RunKey — never a panic. Progress reporting is injected via
+// the Sink interface (quiet by default; cmd/lvmbench streams to stderr).
 package experiments
 
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"lvm/internal/oskernel"
 	"lvm/internal/phys"
 	"lvm/internal/sim"
+	"lvm/internal/vas"
+	"lvm/internal/wallclock"
 	"lvm/internal/workload"
 )
 
@@ -29,6 +41,10 @@ type Config struct {
 	// PhysSlackBytes is added to each workload's footprint when sizing
 	// simulated physical memory.
 	PhysSlackBytes uint64
+	// PhysBytes, when non-zero, overrides the per-run physical memory size
+	// entirely (footprint-based sizing is skipped). Used by tests to force
+	// launch failures; full- and quick-scale configs leave it zero.
+	PhysBytes uint64
 }
 
 // Default is the full-scale configuration used by cmd/lvmbench and the
@@ -65,6 +81,10 @@ type RunKey struct {
 	THP      bool
 }
 
+func (k RunKey) String() string {
+	return fmt.Sprintf("%s/%s thp=%t", k.Workload, k.Scheme, k.THP)
+}
+
 // RunOutput bundles a simulation result with the scheme-side statistics
 // the characterization sections need.
 type RunOutput struct {
@@ -92,72 +112,130 @@ type RunOutput struct {
 	ExtraPerColl  float64
 }
 
-// Runner executes and caches simulations.
+// Runner executes and caches simulations. The caches are safe for the
+// scheduler's concurrent workers; the compute phases run sequentially.
 type Runner struct {
-	Cfg   Config
-	runs  map[RunKey]*RunOutput
-	wls   map[string]*workload.Workload
-	quiet bool
+	Cfg  Config
+	sink Sink
+
+	mu   sync.Mutex
+	runs map[RunKey]*RunOutput
+	wls  map[string]*workload.Workload
 }
 
-// NewRunner creates a runner.
+// NewRunner creates a runner. Progress reporting defaults to NopSink
+// (quiet); inject a WriterSink for live output.
 func NewRunner(cfg Config) *Runner {
 	return &Runner{
 		Cfg:  cfg,
+		sink: NopSink{},
 		runs: make(map[RunKey]*RunOutput),
 		wls:  make(map[string]*workload.Workload),
 	}
 }
 
-// SetQuiet suppresses progress output.
-func (r *Runner) SetQuiet(q bool) { r.quiet = q }
-
-func (r *Runner) logf(format string, args ...any) {
-	if !r.quiet {
-		fmt.Printf(format+"\n", args...)
+// SetSink installs the progress event sink (nil restores quiet).
+func (r *Runner) SetSink(s Sink) {
+	if s == nil {
+		s = NopSink{}
 	}
+	r.sink = s
 }
 
 // Workload builds (and caches) a workload.
-func (r *Runner) Workload(name string) *workload.Workload {
+func (r *Runner) Workload(name string) (*workload.Workload, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if w, ok := r.wls[name]; ok {
-		return w
+		return w, nil
 	}
 	w, err := workload.Build(name, r.Cfg.Params)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	r.wls[name] = w
-	return w
+	return w, nil
+}
+
+// runBytes sizes simulated physical memory for one run of w. It doubles as
+// the scheduler's memory-budget cost for the run: admission is bounded by
+// the summed simulated footprint of in-flight simulations.
+func (r *Runner) runBytes(w *workload.Workload) uint64 {
+	if r.Cfg.PhysBytes != 0 {
+		return r.Cfg.PhysBytes
+	}
+	return w.FootprintBytes() + w.FootprintBytes()/2 + r.Cfg.PhysSlackBytes
 }
 
 // physFor sizes simulated physical memory for a workload.
 func (r *Runner) physFor(w *workload.Workload) *phys.Memory {
-	need := w.FootprintBytes() + w.FootprintBytes()/2 + r.Cfg.PhysSlackBytes
-	return phys.New(need)
+	return phys.New(r.runBytes(w))
 }
 
-// Run executes (or returns the cached) simulation for one configuration.
-func (r *Runner) Run(name string, scheme oskernel.Scheme, thp bool) *RunOutput {
-	key := RunKey{name, scheme, thp}
-	if out, ok := r.runs[key]; ok {
-		return out
-	}
-	w := r.Workload(name)
-	mem := r.physFor(w)
+// newScaledSystem creates the OS layer with the sweep's proportionally
+// scaled walk caches. Every simulation in the harness — the main Run path,
+// the Table-2 scaling study, and the characterization one-offs — goes
+// through this one constructor, so scheme-side statistics always come from
+// identically configured systems.
+func newScaledSystem(mem *phys.Memory, scheme oskernel.Scheme) *oskernel.System {
 	pwc, lwc := sim.ScaledHW()
-	sys := oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
-	if _, err := sys.Launch(1, w.Space, thp); err != nil {
-		panic(fmt.Sprintf("experiments: launch %s/%s: %v", name, scheme, err))
+	return oskernel.NewSystemHW(mem, scheme, oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
+}
+
+// launchScaled builds a scaled system over mem and launches space into it
+// as ASID 1, the shared single-process launch path.
+func launchScaled(mem *phys.Memory, scheme oskernel.Scheme, space *vas.AddressSpace, thp bool) (*oskernel.System, *oskernel.Process, error) {
+	sys := newScaledSystem(mem, scheme)
+	p, err := sys.Launch(1, space, thp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, p, nil
+}
+
+// Run returns the cached simulation for one configuration, executing it
+// in-line on a miss. Failures anywhere on the build/launch/run path come
+// back as a wrapped error naming the RunKey.
+func (r *Runner) Run(name string, scheme oskernel.Scheme, thp bool) (*RunOutput, error) {
+	key := RunKey{name, scheme, thp}
+	r.mu.Lock()
+	out, ok := r.runs[key]
+	r.mu.Unlock()
+	if ok {
+		return out, nil
+	}
+	out, err := r.execute(key)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.runs[key] = out
+	r.mu.Unlock()
+	return out, nil
+}
+
+// execute performs one simulation without touching the run cache; it is
+// the unit of work the scheduler hands to its workers.
+func (r *Runner) execute(key RunKey) (*RunOutput, error) {
+	w, err := r.Workload(key.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("run %s: %w", key, err)
+	}
+	r.sink.RunStart(key)
+	sw := wallclock.Start()
+	sys, p, err := launchScaled(r.physFor(w), key.Scheme, w.Space, key.THP)
+	if err != nil {
+		err = fmt.Errorf("run %s: launch: %w", key, err)
+		r.sink.RunDone(key, sw.Seconds(), err)
+		return nil, err
 	}
 	cfg := r.Cfg.Sim
-	cfg.Midgard = scheme == oskernel.SchemeMidgard
+	cfg.Midgard = key.Scheme == oskernel.SchemeMidgard
 	cpu := sim.New(cfg, sys.Walker())
-	r.logf("  running %s / %s (thp=%t)...", name, scheme, thp)
 	res := cpu.Run(1, w)
 
 	out := &RunOutput{Sim: res}
-	if p := sys.Process(1); p != nil {
+	if p != nil {
 		out.OverheadBytes = sys.TableOverheadBytes(1)
 		out.MgmtCycles = p.MgmtCycles
 		if p.LvmIx != nil {
@@ -169,22 +247,22 @@ func (r *Runner) Run(name string, scheme oskernel.Scheme, thp bool) *RunOutput {
 			out.Rebuilds = p.LvmIx.Stats().Rebuilds
 			out.Overflows = p.LvmIx.Stats().SearchOverflows
 			out.LWCHitRate = sys.LVMWalker().LWC().HitRate()
-			out.CollisionRate, out.ExtraPerColl = lvmCollisions(sys, p)
+			out.CollisionRate, out.ExtraPerColl = lvmCollisions(p)
 		}
 	}
 	if rw := sys.RadixWalker(); rw != nil {
 		_, _, pde := rw.PWCs()
 		out.PWCPDEMissRate = pde.MissRate()
 	}
-	r.runs[key] = out
+	r.sink.RunDone(key, sw.Seconds(), nil)
 	// Simulated memories are large; let the GC reclaim between runs.
 	runtime.GC()
-	return out
+	return out, nil
 }
 
 // lvmCollisions measures the §7.3 collision metrics by walking every
 // mapped key once.
-func lvmCollisions(sys *oskernel.System, p *oskernel.Process) (rate, extra float64) {
+func lvmCollisions(p *oskernel.Process) (rate, extra float64) {
 	var collided, total, extraRefs int
 	for _, reg := range p.Space.Regions {
 		for _, v := range reg.Mapped {

@@ -24,14 +24,15 @@ func skipSweep(t *testing.T) {
 }
 
 func quickRunner() *Runner {
-	r := NewRunner(Quick())
-	r.SetQuiet(true)
-	return r
+	return NewRunner(Quick())
 }
 
 func TestFig2Shape(t *testing.T) {
 	r := quickRunner()
-	res := r.Fig2GapCoverage()
+	res, err := r.Fig2GapCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Min < 0.78 {
 		t.Errorf("minimum gap coverage %.3f < 0.78 (Fig. 2)", res.Min)
 	}
@@ -42,7 +43,10 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig3Shape(t *testing.T) {
 	r := quickRunner()
-	res := r.Fig3Contiguity()
+	res, err := r.Fig3Contiguity()
+	if err != nil {
+		t.Fatal(err)
+	}
 	small := res.Fraction[256<<10]
 	big := res.Fraction[256<<20]
 	if small < 0.15 {
@@ -56,7 +60,10 @@ func TestFig3Shape(t *testing.T) {
 func TestFig9Through12Shape(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	f9 := r.Fig9Speedups()
+	f9, err := r.Fig9Speedups()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f9.AvgLVM4K <= 1.0 {
 		t.Errorf("LVM 4K geomean speedup = %.3f, must exceed 1 (Fig. 9)", f9.AvgLVM4K)
 	}
@@ -68,7 +75,10 @@ func TestFig9Through12Shape(t *testing.T) {
 		t.Errorf("LVM %.3f too far from ideal %.3f", f9.AvgLVM4K, f9.AvgIdeal4K)
 	}
 
-	f10 := r.Fig10MMUOverhead()
+	f10, err := r.Fig10MMUOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f10.AvgLVM4K >= 1.0 {
 		t.Errorf("LVM MMU overhead ratio = %.3f, must be < 1 (Fig. 10)", f10.AvgLVM4K)
 	}
@@ -77,7 +87,10 @@ func TestFig9Through12Shape(t *testing.T) {
 			f10.LVMWalkReduction4K, f10.ECPTWalkReduction4K)
 	}
 
-	f11 := r.Fig11WalkTraffic()
+	f11, err := r.Fig11WalkTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f11.AvgLVM4K >= 1.0 {
 		t.Errorf("LVM walk traffic ratio = %.3f, must be < 1 (Fig. 11)", f11.AvgLVM4K)
 	}
@@ -88,7 +101,10 @@ func TestFig9Through12Shape(t *testing.T) {
 		t.Errorf("LVM traffic vs ideal = %.3f, paper within 1%%", f11.LVMvsIdeal)
 	}
 
-	f12 := r.Fig12CacheMPKI()
+	f12, err := r.Fig12CacheMPKI()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f12.AvgLVML2 > 1.10 || f12.AvgLVML3 > 1.10 {
 		t.Errorf("LVM MPKI ratios %.3f/%.3f, paper within ~1%%", f12.AvgLVML2, f12.AvgLVML3)
 	}
@@ -100,7 +116,10 @@ func TestFig9Through12Shape(t *testing.T) {
 func TestTable2Shape(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	res := r.Table2IndexSize()
+	res, err := r.Table2IndexSize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, size := range res.Size4K {
 		if size <= 0 || size > 4096 {
 			t.Errorf("%s: index size %dB out of the paper's ballpark", name, size)
@@ -123,7 +142,10 @@ func TestTable2Shape(t *testing.T) {
 func TestCollisionShape(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	res := r.CollisionRates()
+	res, err := r.CollisionRates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.AvgLVM4K > 0.02 {
 		t.Errorf("LVM 4K collision rate %.4f, paper 0.002", res.AvgLVM4K)
 	}
@@ -137,7 +159,10 @@ func TestCollisionShape(t *testing.T) {
 
 func TestHardwareShape(t *testing.T) {
 	r := quickRunner()
-	res := r.HardwareArea()
+	res, err := r.HardwareArea()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Cmp.SizeX < 2 || res.Cmp.AreaX < 1 || res.Cmp.PowerX < 1 {
 		t.Errorf("hardware ratios off: %+v", res.Cmp)
 	}
@@ -146,7 +171,10 @@ func TestHardwareShape(t *testing.T) {
 func TestPriorWorkShape(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	res := r.PriorWork()
+	res, err := r.PriorWork()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.LVM < res.ASAP-0.02 {
 		t.Errorf("LVM (%.3f) must not trail ASAP (%.3f) (§7.5.1)", res.LVM, res.ASAP)
 	}
@@ -161,8 +189,14 @@ func TestPriorWorkShape(t *testing.T) {
 func TestRunCaching(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	a := r.Run("bfs", "radix", false)
-	b := r.Run("bfs", "radix", false)
+	a, err := r.Run("bfs", "radix", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("bfs", "radix", false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("runs not cached")
 	}
@@ -171,7 +205,10 @@ func TestRunCaching(t *testing.T) {
 func TestTailLatencyShape(t *testing.T) {
 	skipSweep(t)
 	r := quickRunner()
-	res := r.TailLatency()
+	res, err := r.TailLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ChurnOps == 0 {
 		t.Fatal("no churn injected")
 	}

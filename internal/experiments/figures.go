@@ -21,7 +21,7 @@ type Fig2Result struct {
 
 // Fig2GapCoverage reproduces Figure 2: the fraction of adjacent mapped-VPN
 // pairs with gap = 1 across all application profiles. Paper: minimum 78%.
-func (r *Runner) Fig2GapCoverage() Fig2Result {
+func (r *Runner) Fig2GapCoverage() (Fig2Result, error) {
 	res := Fig2Result{Coverage: map[string]float64{}, Min: 1}
 	tb := stats.NewTable("profile", "gap=1 coverage")
 	names := make([]string, 0)
@@ -41,7 +41,10 @@ func (r *Runner) Fig2GapCoverage() Fig2Result {
 	}
 	// The nine evaluation workloads' actual layouts.
 	for _, name := range r.Cfg.Workloads {
-		w := r.Workload(name)
+		w, err := r.Workload(name)
+		if err != nil {
+			return Fig2Result{}, err
+		}
 		c := vas.GapCoverage(w.Space.MappedVPNs())
 		res.Coverage["wl:"+name] = c
 		if c < res.Min {
@@ -50,7 +53,7 @@ func (r *Runner) Fig2GapCoverage() Fig2Result {
 		tb.AddRow("wl:"+name, pct(c))
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // Fig3Result carries the contiguity study data.
@@ -64,7 +67,7 @@ type Fig3Result struct {
 // Fig3Contiguity reproduces Figure 3: the median fraction of free memory
 // immediately allocatable as a contiguous block, on a datacenter-aged
 // buddy allocator. Paper: hundreds-of-MB ≈ 0, ~30% at 256 KB.
-func (r *Runner) Fig3Contiguity() Fig3Result {
+func (r *Runner) Fig3Contiguity() (Fig3Result, error) {
 	res := Fig3Result{Fraction: map[uint64]float64{}}
 	tb := stats.NewTable("block size", "fraction of free memory")
 	const servers = 5
@@ -84,7 +87,7 @@ func (r *Runner) Fig3Contiguity() Fig3Result {
 		tb.AddRow(byteLabel(size), pct(f))
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 func byteLabel(b uint64) string {
@@ -119,18 +122,34 @@ type Fig9Result struct {
 // Fig9Speedups reproduces Figure 9: end-to-end speedups relative to radix,
 // for 4 KB pages and THP. Paper: LVM +5–26% (avg 14%) at 4 KB, +2–27%
 // (avg 7%) with THP; ≥ ECPT; within 1% of ideal.
-func (r *Runner) Fig9Speedups() Fig9Result {
+func (r *Runner) Fig9Speedups() (Fig9Result, error) {
 	var res Fig9Result
 	tb := stats.NewTable("workload", "pages", "ecpt", "lvm", "ideal")
 	for _, thp := range []bool{false, true} {
 		var lvms, ecpts, ideals []float64
 		for _, name := range r.Cfg.Workloads {
-			base := r.Run(name, oskernel.SchemeRadix, thp).Sim.Cycles
+			rad, err := r.Run(name, oskernel.SchemeRadix, thp)
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			ec, err := r.Run(name, oskernel.SchemeECPT, thp)
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			lv, err := r.Run(name, oskernel.SchemeLVM, thp)
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			id, err := r.Run(name, oskernel.SchemeIdeal, thp)
+			if err != nil {
+				return Fig9Result{}, err
+			}
+			base := rad.Sim.Cycles
 			row := SpeedupRow{
 				Workload: name,
-				ECPT:     speedup(base, r.Run(name, oskernel.SchemeECPT, thp).Sim.Cycles),
-				LVM:      speedup(base, r.Run(name, oskernel.SchemeLVM, thp).Sim.Cycles),
-				Ideal:    speedup(base, r.Run(name, oskernel.SchemeIdeal, thp).Sim.Cycles),
+				ECPT:     speedup(base, ec.Sim.Cycles),
+				LVM:      speedup(base, lv.Sim.Cycles),
+				Ideal:    speedup(base, id.Sim.Cycles),
 			}
 			label := "4KB"
 			if thp {
@@ -157,7 +176,7 @@ func (r *Runner) Fig9Speedups() Fig9Result {
 	tb.AddRow("GEOMEAN", "4KB", res.AvgECPT4K, res.AvgLVM4K, res.AvgIdeal4K)
 	tb.AddRow("GEOMEAN", "THP", res.AvgECPTTHP, res.AvgLVMTHP, res.AvgIdealTHP)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // Fig10Result carries the MMU-overhead data.
@@ -172,7 +191,7 @@ type Fig10Result struct {
 }
 
 // Fig10MMUOverhead reproduces Figure 10: MMU overhead relative to radix.
-func (r *Runner) Fig10MMUOverhead() Fig10Result {
+func (r *Runner) Fig10MMUOverhead() (Fig10Result, error) {
 	res := Fig10Result{
 		ECPT4K: map[string]float64{}, LVM4K: map[string]float64{},
 		ECPTTHP: map[string]float64{}, LVMTHP: map[string]float64{},
@@ -181,9 +200,18 @@ func (r *Runner) Fig10MMUOverhead() Fig10Result {
 	for _, thp := range []bool{false, true} {
 		var lvmRel, lvmWalk, ecptWalk []float64
 		for _, name := range r.Cfg.Workloads {
-			base := r.Run(name, oskernel.SchemeRadix, thp)
-			ec := r.Run(name, oskernel.SchemeECPT, thp)
-			lv := r.Run(name, oskernel.SchemeLVM, thp)
+			base, err := r.Run(name, oskernel.SchemeRadix, thp)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			ec, err := r.Run(name, oskernel.SchemeECPT, thp)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			lv, err := r.Run(name, oskernel.SchemeLVM, thp)
+			if err != nil {
+				return Fig10Result{}, err
+			}
 			relE := ec.Sim.MMUCycles() / base.Sim.MMUCycles()
 			relL := lv.Sim.MMUCycles() / base.Sim.MMUCycles()
 			wL := lv.Sim.WalkCycles / base.Sim.WalkCycles
@@ -211,7 +239,7 @@ func (r *Runner) Fig10MMUOverhead() Fig10Result {
 		}
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // Fig11Result carries the walk-traffic data.
@@ -227,7 +255,7 @@ type Fig11Result struct {
 
 // Fig11WalkTraffic reproduces Figure 11: memory requests from page walks,
 // relative to radix. Paper: LVM −43%/−34%; ECPT 1.7×/2.1×.
-func (r *Runner) Fig11WalkTraffic() Fig11Result {
+func (r *Runner) Fig11WalkTraffic() (Fig11Result, error) {
 	res := Fig11Result{
 		LVM4K: map[string]float64{}, ECPT4K: map[string]float64{},
 		LVMTHP: map[string]float64{}, ECPTTHP: map[string]float64{},
@@ -237,10 +265,26 @@ func (r *Runner) Fig11WalkTraffic() Fig11Result {
 	for _, thp := range []bool{false, true} {
 		var ls, es []float64
 		for _, name := range r.Cfg.Workloads {
-			base := float64(r.Run(name, oskernel.SchemeRadix, thp).Sim.WalkRefs)
-			lv := float64(r.Run(name, oskernel.SchemeLVM, thp).Sim.WalkRefs)
-			ec := float64(r.Run(name, oskernel.SchemeECPT, thp).Sim.WalkRefs)
-			id := float64(r.Run(name, oskernel.SchemeIdeal, thp).Sim.WalkRefs)
+			rad, err := r.Run(name, oskernel.SchemeRadix, thp)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			lvr, err := r.Run(name, oskernel.SchemeLVM, thp)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			ecr, err := r.Run(name, oskernel.SchemeECPT, thp)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			idr, err := r.Run(name, oskernel.SchemeIdeal, thp)
+			if err != nil {
+				return Fig11Result{}, err
+			}
+			base := float64(rad.Sim.WalkRefs)
+			lv := float64(lvr.Sim.WalkRefs)
+			ec := float64(ecr.Sim.WalkRefs)
+			id := float64(idr.Sim.WalkRefs)
 			label := "4KB"
 			if thp {
 				label = "THP"
@@ -263,7 +307,7 @@ func (r *Runner) Fig11WalkTraffic() Fig11Result {
 	}
 	res.LVMvsIdeal = stats.Mean(vsIdeal)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // Fig12Result carries the cache-MPKI data.
@@ -276,7 +320,7 @@ type Fig12Result struct {
 
 // Fig12CacheMPKI reproduces Figure 12: L2/L3 MPKI relative to radix.
 // Paper: LVM within ~1%; ECPT +44% L2 / +40% L3.
-func (r *Runner) Fig12CacheMPKI() Fig12Result {
+func (r *Runner) Fig12CacheMPKI() (Fig12Result, error) {
 	res := Fig12Result{
 		LVML2: map[string]float64{}, LVML3: map[string]float64{},
 		ECPTL2: map[string]float64{}, ECPTL3: map[string]float64{},
@@ -284,9 +328,18 @@ func (r *Runner) Fig12CacheMPKI() Fig12Result {
 	tb := stats.NewTable("workload", "lvm L2", "lvm L3", "ecpt L2", "ecpt L3")
 	var l2s, l3s, e2s, e3s []float64
 	for _, name := range r.Cfg.Workloads {
-		base := r.Run(name, oskernel.SchemeRadix, false)
-		lv := r.Run(name, oskernel.SchemeLVM, false)
-		ec := r.Run(name, oskernel.SchemeECPT, false)
+		base, err := r.Run(name, oskernel.SchemeRadix, false)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		lv, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		ec, err := r.Run(name, oskernel.SchemeECPT, false)
+		if err != nil {
+			return Fig12Result{}, err
+		}
 		res.LVML2[name] = lv.Sim.L2MPKI / base.Sim.L2MPKI
 		res.LVML3[name] = lv.Sim.L3MPKI / base.Sim.L3MPKI
 		res.ECPTL2[name] = ec.Sim.L2MPKI / base.Sim.L2MPKI
@@ -300,7 +353,7 @@ func (r *Runner) Fig12CacheMPKI() Fig12Result {
 	res.AvgLVML2, res.AvgLVML3 = stats.Mean(l2s), stats.Mean(l3s)
 	res.AvgECPTL2, res.AvgECPTL3 = stats.Mean(e2s), stats.Mean(e3s)
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // Table2Result carries the index-size data.
@@ -314,16 +367,24 @@ type Table2Result struct {
 
 // Table2IndexSize reproduces Table 2 plus the scaling study: steady-state
 // index sizes in bytes. Paper: 96–128 B (4K), 112–192 B (THP), constant
-// across memcached 32→240 GB.
-func (r *Runner) Table2IndexSize() Table2Result {
+// across memcached 32→240 GB. The scaling launches go through the same
+// scaled-HW launch path as every other run, so index statistics come from
+// identically configured systems.
+func (r *Runner) Table2IndexSize() (Table2Result, error) {
 	res := Table2Result{
 		Size4K: map[string]int{}, SizeTHP: map[string]int{},
 		Peak: map[string]int{}, ScalingSizes: map[uint64]int{},
 	}
 	tb := stats.NewTable("workload", "4KB bytes", "THP bytes", "peak bytes", "depth", "LWC hit")
 	for _, name := range r.Cfg.Workloads {
-		a := r.Run(name, oskernel.SchemeLVM, false)
-		b := r.Run(name, oskernel.SchemeLVM, true)
+		a, err := r.Run(name, oskernel.SchemeLVM, false)
+		if err != nil {
+			return Table2Result{}, err
+		}
+		b, err := r.Run(name, oskernel.SchemeLVM, true)
+		if err != nil {
+			return Table2Result{}, err
+		}
 		res.Size4K[name] = a.IndexBytes
 		res.SizeTHP[name] = b.IndexBytes
 		res.Peak[name] = a.IndexPeakBytes
@@ -336,19 +397,19 @@ func (r *Runner) Table2IndexSize() Table2Result {
 		p.MemcachedBytes = p.MemcachedBytes / 4 * scale
 		w, err := workload.Build("mem$", p)
 		if err != nil {
-			panic(err)
+			return Table2Result{}, fmt.Errorf("table2 scaling @%s: %w", byteLabel(p.MemcachedBytes), err)
 		}
-		mem := phys.New(w.FootprintBytes() + w.FootprintBytes()/2 + r.Cfg.PhysSlackBytes)
-		sys := oskernel.NewSystem(mem, oskernel.SchemeLVM)
-		if _, err := sys.Launch(1, w.Space, false); err != nil {
-			panic(err)
+		sys, proc, err := launchScaled(r.physFor(w), oskernel.SchemeLVM, w.Space, false)
+		if err != nil {
+			return Table2Result{}, fmt.Errorf("table2 scaling @%s: launch: %w", byteLabel(p.MemcachedBytes), err)
 		}
-		res.ScalingSizes[p.MemcachedBytes] = sys.Process(1).LvmIx.SizeBytes()
+		_ = sys
+		res.ScalingSizes[p.MemcachedBytes] = proc.LvmIx.SizeBytes()
 		tb.AddRow(fmt.Sprintf("mem$ @%s", byteLabel(p.MemcachedBytes)),
-			sys.Process(1).LvmIx.SizeBytes(), "-", "-", "-", "-")
+			proc.LvmIx.SizeBytes(), "-", "-", "-", "-")
 	}
 	res.Table = tb
-	return res
+	return res, nil
 }
 
 // HardwareResult carries the §7.4 data.
@@ -360,12 +421,12 @@ type HardwareResult struct {
 // HardwareArea reproduces §7.4: area/power/size of LVM's hardware vs
 // radix's PWC. Paper: 3.0× size, 1.5× area, 1.9× power; walker
 // 0.000637 mm²; LWC 0.00364 mm², 0.588 mW.
-func (r *Runner) HardwareArea() HardwareResult {
+func (r *Runner) HardwareArea() (HardwareResult, error) {
 	c := hwarea.Compare()
 	tb := stats.NewTable("structure", "payload bytes", "area mm2", "leakage mW")
 	tb.AddRow("LVM LWC", c.LWC.DataBytes(), fmt.Sprintf("%.5f", c.LWC.AreaMM2()), fmt.Sprintf("%.3f", c.LWC.LeakageMW()))
 	tb.AddRow("Radix PWC", c.PWC.DataBytes(), fmt.Sprintf("%.5f", c.PWC.AreaMM2()), fmt.Sprintf("%.3f", c.PWC.LeakageMW()))
 	tb.AddRow("LVM walker", "-", fmt.Sprintf("%.6f", c.WalkerMM), "-")
 	tb.AddRow("improvement", fmt.Sprintf("%.1fx", c.SizeX), fmt.Sprintf("%.1fx", c.AreaX), fmt.Sprintf("%.1fx", c.PowerX))
-	return HardwareResult{Cmp: c, Table: tb}
+	return HardwareResult{Cmp: c, Table: tb}, nil
 }

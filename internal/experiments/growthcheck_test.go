@@ -12,15 +12,19 @@ func TestGrowthBreakdown(t *testing.T) {
 	skipSweep(t)
 	r := NewRunner(Default())
 	name := "gups"
-	w := r.Workload(name)
-	mem := r.physFor(w)
-	sys := oskernel.NewSystem(mem, oskernel.SchemeLVM)
-	p, err := sys.Launch(1, w.Space, false)
+	w, err := r.Workload(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, p, err := launchScaled(r.physFor(w), oskernel.SchemeLVM, w.Space, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := p.MgmtCycles
-	heap := heapOf(w.Space)
+	heap, err := heapOf(w.Space)
+	if err != nil {
+		t.Fatal(err)
+	}
 	grow := heap.Span / 8
 	start := heap.Mapped[len(heap.Mapped)-1] + 1
 	inserted := 0

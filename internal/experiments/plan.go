@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lvm/internal/experiments/sched"
+	"lvm/internal/wallclock"
+)
+
+// A Plan is the declarative first phase of the pipeline: the experiments
+// to compute, and the deduplicated simulations they require in a
+// deterministic (first-appearance) order.
+type Plan struct {
+	Experiments []Experiment
+	Runs        []RunKey
+}
+
+// NewPlan collects the RunKeys of the selected experiments in registry
+// order and dedupes them. The result depends only on cfg and the
+// selection, never on scheduling.
+func NewPlan(cfg Config, exps []Experiment) Plan {
+	seen := make(map[RunKey]bool)
+	var runs []RunKey
+	for _, e := range exps {
+		if e.Requires == nil {
+			continue
+		}
+		for _, k := range e.Requires(cfg) {
+			if !seen[k] {
+				seen[k] = true
+				runs = append(runs, k)
+			}
+		}
+	}
+	return Plan{Experiments: exps, Runs: runs}
+}
+
+// DefaultMemBudgetBytes bounds the summed simulated physical memory of
+// in-flight runs. Host memory per run is a fraction of the simulated size
+// (page tables plus allocator metadata, not data pages), so this default
+// keeps a full-scale sweep comfortably inside a 16 GB machine while still
+// admitting several multi-GB runs at once.
+const DefaultMemBudgetBytes = 32 << 30
+
+// ExecOptions bounds a plan execution.
+type ExecOptions struct {
+	// Workers is the number of simulation worker goroutines (min 1).
+	Workers int
+	// MemBudgetBytes caps the summed simulated footprint of in-flight
+	// runs (0 means DefaultMemBudgetBytes; see sched.Options).
+	MemBudgetBytes uint64
+}
+
+// ExecutePlan runs the pipeline's execute phase: build each required
+// workload once, execute the deduped run matrix on the worker pool, merge
+// the outputs into the cache in plan order, and then invoke each
+// experiment's compute phase sequentially. The returned results — tables,
+// summaries, and raw structs — are bit-for-bit identical at any worker
+// count; only the Sink's progress stream reflects scheduling.
+func (r *Runner) ExecutePlan(p Plan, opt ExecOptions) ([]Result, error) {
+	if opt.MemBudgetBytes == 0 {
+		opt.MemBudgetBytes = DefaultMemBudgetBytes
+	}
+
+	// Build every workload up front, in deterministic first-appearance
+	// order, so workers never race on the heavyweight builds.
+	var names []string
+	seenWl := make(map[string]bool)
+	for _, k := range p.Runs {
+		if !seenWl[k.Workload] {
+			seenWl[k.Workload] = true
+			names = append(names, k.Workload)
+		}
+	}
+	tasks := make([]sched.Task[RunKey], len(p.Runs))
+	for _, n := range names {
+		if _, err := r.Workload(n); err != nil {
+			return nil, err
+		}
+	}
+	for i, k := range p.Runs {
+		w, err := r.Workload(k.Workload)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = sched.Task[RunKey]{Key: k, CostBytes: r.runBytes(w)}
+	}
+
+	outs, err := sched.Run(tasks, sched.Options{
+		Workers:     opt.Workers,
+		BudgetBytes: opt.MemBudgetBytes,
+	}, r.execute)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	// Merge in plan order — a fixed, deterministic key order independent
+	// of which worker finished when.
+	r.mu.Lock()
+	for i, k := range p.Runs {
+		r.runs[k] = outs[i]
+	}
+	r.mu.Unlock()
+
+	results := make([]Result, 0, len(p.Experiments))
+	for _, e := range p.Experiments {
+		r.sink.ExperimentStart(e.Key, e.Title)
+		sw := wallclock.Start()
+		res, err := e.Compute(r)
+		r.sink.ExperimentDone(e.Key, sw.Seconds(), err)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.Key, err)
+		}
+		res.Key, res.Title = e.Key, e.Title
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lvm/internal/oskernel"
+	"lvm/internal/phys"
+	"lvm/internal/sim"
+	"lvm/internal/workload"
+)
+
+// tinyConfig is a sub-Quick configuration small enough to execute the full
+// registry several times in one test.
+func tinyConfig() Config {
+	return Config{
+		Workloads:      []string{"bfs", "gups", "mem$"},
+		Params:         workload.QuickParams(),
+		Sim:            sim.ScaledConfig(),
+		PhysSlackBytes: 1 << 26,
+	}
+}
+
+func TestNewPlanDedupes(t *testing.T) {
+	cfg := tinyConfig()
+	exps, err := Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(cfg, exps)
+	if len(p.Experiments) != len(exps) {
+		t.Fatalf("plan has %d experiments, want %d", len(p.Experiments), len(exps))
+	}
+	seen := make(map[RunKey]int)
+	for _, k := range p.Runs {
+		seen[k]++
+		if seen[k] > 1 {
+			t.Errorf("run %s appears %d times in the plan", k, seen[k])
+		}
+	}
+	// fig9 alone needs workloads × 4 schemes × 2 policies; the dedup must
+	// not lose any of them.
+	if len(p.Runs) < 4*2*len(cfg.Workloads) {
+		t.Errorf("plan has only %d runs", len(p.Runs))
+	}
+	// Planning is deterministic: same inputs, same run list.
+	q := NewPlan(cfg, exps)
+	if !reflect.DeepEqual(p.Runs, q.Runs) {
+		t.Error("two plans over the same config differ")
+	}
+}
+
+// TestExecutePlanDeterministic is the headline invariant of the scheduler:
+// the full registry, executed at 1, 4, and 8 workers, must produce
+// bit-for-bit identical rendered tables and identical raw result structs.
+func TestExecutePlanDeterministic(t *testing.T) {
+	skipSweep(t)
+	cfg := tinyConfig()
+	exps, err := Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		rendered []string
+		raw      []any
+	}
+	execAt := func(workers int) outcome {
+		t.Helper()
+		r := NewRunner(cfg)
+		results, err := r.ExecutePlan(NewPlan(cfg, exps), ExecOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var o outcome
+		for _, res := range results {
+			o.rendered = append(o.rendered, res.Render())
+			o.raw = append(o.raw, res.Raw)
+		}
+		return o
+	}
+
+	base := execAt(1)
+	for _, workers := range []int{4, 8} {
+		got := execAt(workers)
+		for i := range base.rendered {
+			if got.rendered[i] != base.rendered[i] {
+				t.Errorf("workers=%d: experiment %s rendered output differs from -j 1:\n-j1:\n%s\n-j%d:\n%s",
+					workers, exps[i].Key, base.rendered[i], workers, got.rendered[i])
+			}
+			if !reflect.DeepEqual(got.raw[i], base.raw[i]) {
+				t.Errorf("workers=%d: experiment %s raw result differs from -j 1", workers, exps[i].Key)
+			}
+		}
+	}
+}
+
+// TestRunErrorNamesKey asserts the error-propagation contract: a failing
+// launch (physical memory far too small for the workload) surfaces as a
+// wrapped error that names the RunKey and preserves the phys sentinel —
+// never as a panic.
+func TestRunErrorNamesKey(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.PhysBytes = 1 << 20 // 256 pages: no workload fits
+	r := NewRunner(cfg)
+	_, err := r.Run("gups", oskernel.SchemeLVM, false)
+	if err == nil {
+		t.Fatal("launch into 1MB of memory succeeded")
+	}
+	if !errors.Is(err, phys.ErrNoMemory) {
+		t.Errorf("error does not wrap phys.ErrNoMemory: %v", err)
+	}
+	want := RunKey{"gups", oskernel.SchemeLVM, false}.String()
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the run %q", err, want)
+	}
+}
+
+func TestExecutePlanPropagatesErrors(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Workloads = []string{"gups"}
+	cfg.PhysBytes = 1 << 20
+	r := NewRunner(cfg)
+	exps, err := Select("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ExecutePlan(NewPlan(cfg, exps), ExecOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("plan over 1MB of memory succeeded")
+	}
+	if !errors.Is(err, phys.ErrNoMemory) {
+		t.Errorf("error does not wrap phys.ErrNoMemory: %v", err)
+	}
+	if !strings.Contains(err.Error(), "gups/lvm") {
+		t.Errorf("error %q does not name a failing run", err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	_, err := r.Run("nope", oskernel.SchemeLVM, false)
+	if err == nil {
+		t.Fatal("unknown workload succeeded")
+	}
+	if !errors.Is(err, workload.ErrUnknown) {
+		t.Errorf("error does not wrap workload.ErrUnknown: %v", err)
+	}
+}
+
+func TestSelectUnknownKey(t *testing.T) {
+	_, err := Select("fig9", "nope")
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want unknown-key error naming it, got %v", err)
+	}
+	exps, err := Select("TABLE2", " fig9 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].Key != "fig9" || exps[1].Key != "table2" {
+		t.Errorf("selection wrong: %d entries", len(exps))
+	}
+}

@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lvm/internal/oskernel"
+	"lvm/internal/stats"
+)
+
+// An Experiment is one declarative registry entry: the simulations it
+// needs (Requires) and the pure computation over their outputs (Compute).
+// Keeping the two phases separate is what lets the scheduler dedupe and
+// parallelize the run matrix across every selected experiment before any
+// table is rendered.
+type Experiment struct {
+	// Key is the stable identifier used by lvmbench's -only flag.
+	Key string
+	// Title is the banner line, including the paper's headline claim.
+	Title string
+	// Requires enumerates the simulations the compute phase will read.
+	// Experiments that only run bespoke one-off simulations (for example
+	// the fragmentation sweep) return nil and simulate inside Compute.
+	Requires func(cfg Config) []RunKey
+	// Compute derives the experiment's result from the runner's cached
+	// runs. It must be deterministic given the run outputs.
+	Compute func(r *Runner) (Result, error)
+}
+
+// Result is one experiment's rendered output plus its raw numbers.
+type Result struct {
+	Key, Title string
+	Table      *stats.Table
+	// Summary holds the headline lines printed beneath the table.
+	Summary string
+	// Raw is the experiment's typed result struct (Fig9Result, …).
+	Raw any
+}
+
+// Render formats the result exactly as cmd/lvmbench prints it.
+func (res Result) Render() string {
+	var b strings.Builder
+	rule := strings.Repeat("=", 64)
+	fmt.Fprintf(&b, "\n%s\n%s\n%s\n", rule, res.Title, rule)
+	if res.Table != nil {
+		b.WriteString(res.Table.String())
+	}
+	if res.Summary != "" {
+		b.WriteString(res.Summary)
+		if !strings.HasSuffix(res.Summary, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// cross enumerates the run matrix workloads × schemes × page policies.
+func cross(workloads []string, schemes []oskernel.Scheme, thps ...bool) []RunKey {
+	keys := make([]RunKey, 0, len(thps)*len(workloads)*len(schemes))
+	for _, thp := range thps {
+		for _, name := range workloads {
+			for _, s := range schemes {
+				keys = append(keys, RunKey{name, s, thp})
+			}
+		}
+	}
+	return keys
+}
+
+// tenancyNames mirrors MultiTenancy's workload selection (first four).
+func tenancyNames(cfg Config) []string {
+	names := cfg.Workloads
+	if len(names) > 4 {
+		names = names[:4]
+	}
+	return names
+}
+
+// Registry returns every experiment of the paper's evaluation in print
+// order: the figures, Table 2, and the §7.1–§7.5 characterization studies.
+func Registry() []Experiment {
+	speedupSchemes := []oskernel.Scheme{
+		oskernel.SchemeRadix, oskernel.SchemeECPT, oskernel.SchemeLVM, oskernel.SchemeIdeal,
+	}
+	mmuSchemes := []oskernel.Scheme{
+		oskernel.SchemeRadix, oskernel.SchemeECPT, oskernel.SchemeLVM,
+	}
+	priorSchemes := []oskernel.Scheme{
+		oskernel.SchemeRadix, oskernel.SchemeLVM, oskernel.SchemeECPT,
+		oskernel.SchemeASAP, oskernel.SchemeMidgard, oskernel.SchemeFPT,
+	}
+	lvmOnly := []oskernel.Scheme{oskernel.SchemeLVM}
+
+	return []Experiment{
+		{
+			Key:   "fig2",
+			Title: "Figure 2: virtual memory gap coverage (paper: min 78%)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig2GapCoverage()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table:   res.Table,
+					Summary: fmt.Sprintf("minimum coverage: %.1f%%", 100*res.Min),
+					Raw:     res,
+				}, nil
+			},
+		},
+		{
+			Key:   "fig3",
+			Title: "Figure 3: contiguous free memory on an aged server (paper: ~30% at 256KB, ~0 at 100s of MB)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig3Contiguity()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "fig9",
+			Title: "Figure 9: end-to-end speedups vs radix (paper: LVM avg +14% 4KB / +7% THP, within 1% of ideal)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, speedupSchemes, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig9Speedups()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "fig10",
+			Title: "Figure 10: MMU overhead vs radix (paper: LVM -39% 4KB / -29% THP; walk cycles -52%/-44%)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, mmuSchemes, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig10MMUOverhead()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table: res.Table,
+					Summary: fmt.Sprintf("LVM walk-cycle reduction: %.1f%% (4KB), %.1f%% (THP); ECPT: %.1f%%, %.1f%%",
+						100*res.LVMWalkReduction4K, 100*res.LVMWalkReductionTHP,
+						100*res.ECPTWalkReduction4K, 100*res.ECPTWalkReductionTHP),
+					Raw: res,
+				}, nil
+			},
+		},
+		{
+			Key:   "fig11",
+			Title: "Figure 11: page walk traffic vs radix (paper: LVM -43%/-34%; ECPT 1.7x/2.1x)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, speedupSchemes, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig11WalkTraffic()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table: res.Table,
+					Summary: fmt.Sprintf("averages: LVM %.2fx / %.2fx, ECPT %.2fx / %.2fx; LVM vs ideal %.3fx",
+						res.AvgLVM4K, res.AvgLVMTHP, res.AvgECPT4K, res.AvgECPTTHP, res.LVMvsIdeal),
+					Raw: res,
+				}, nil
+			},
+		},
+		{
+			Key:   "fig12",
+			Title: "Figure 12: cache MPKI vs radix (paper: LVM within ~1%; ECPT +44% L2 / +40% L3)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, mmuSchemes, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Fig12CacheMPKI()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table: res.Table,
+					Summary: fmt.Sprintf("averages: LVM L2 %.3f L3 %.3f; ECPT L2 %.3f L3 %.3f",
+						res.AvgLVML2, res.AvgLVML3, res.AvgECPTL2, res.AvgECPTL3),
+					Raw: res,
+				}, nil
+			},
+		},
+		{
+			Key:   "table2",
+			Title: "Table 2: learned index size (paper: 96-192B steady state, footprint-independent)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, lvmOnly, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Table2IndexSize()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "collisions",
+			Title: "§7.3 collision rates (paper: LVM 0.2%/0.6%; Blake2 hash 22%/19%; 2.36 extra accesses/collision)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, lvmOnly, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.CollisionRates()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table: res.Table,
+					Summary: fmt.Sprintf("averages: LVM %.2f%%/%.2f%%, hash %.1f%%/%.1f%%, extra/coll %.2f",
+						100*res.AvgLVM4K, 100*res.AvgLVMTHP, 100*res.AvgHash4K, 100*res.AvgHashTHP, res.AvgExtraPerColl),
+					Raw: res,
+				}, nil
+			},
+		},
+		{
+			Key:   "retrain",
+			Title: "§7.3 retraining (paper: at most 3 events, avg 2; mgmt 1.17% avg / 1.91% peak, THP <0.01%)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, lvmOnly, false, true)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.RetrainStats()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table: res.Table,
+					Summary: fmt.Sprintf("max events %d, avg %.1f, avg mgmt %.2f%%",
+						res.Max, res.Avg, 100*res.AvgMgmt),
+					Raw: res,
+				}, nil
+			},
+		},
+		{
+			Key:   "memory",
+			Title: "§7.3 memory consumption beyond 8B/translation (paper: LVM < ECPT)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, mmuSchemes, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.MemoryOverhead()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "fragmentation",
+			Title: "§7.3 fragmentation robustness (paper: performance flat, LWC hit >99%)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.FragmentationRobustness()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "walkcaches",
+			Title: "§7.2 TLB/PWC/LWC rates (paper: L2 TLB miss 57-99%, PDE miss 60-99%, LWC hit >99%)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, []oskernel.Scheme{oskernel.SchemeRadix, oskernel.SchemeLVM}, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.WalkCacheMissRates()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "ptwl1",
+			Title: "§7.2 PTW connected to L1 vs L2 (paper: +11% vs +14%; L1 MPKI +59% radix vs +38% LVM)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.PTWL1Connection()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "multitenancy",
+			Title: "§7.1 multi-tenancy (paper: speedups within 0.5% of solo)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(tenancyNames(cfg), []oskernel.Scheme{oskernel.SchemeRadix, oskernel.SchemeLVM}, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.MultiTenancy()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Table:   res.Table,
+					Summary: fmt.Sprintf("max delta: %.3f", res.MaxDelta),
+					Raw:     res,
+				}, nil
+			},
+		},
+		{
+			Key:   "tail",
+			Title: "§7.3 memcached tail latency under LVM management churn (paper: p99 unaffected)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.TailLatency()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "hardware",
+			Title: "§7.4 hardware area/power (paper: 3.0x size, 1.5x area, 1.9x power; walker 0.000637mm²)",
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.HardwareArea()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+		{
+			Key:   "priorwork",
+			Title: "§7.5 ASAP / Midgard / FPT comparison",
+			Requires: func(cfg Config) []RunKey {
+				return cross([]string{translationBoundWorkload(cfg)}, priorSchemes, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.PriorWork()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
+	}
+}
+
+// Select returns the registry entries matching the given keys
+// (case-insensitive), in registry order; no keys selects everything.
+// Unknown keys are an error listing the valid ones.
+func Select(keys ...string) ([]Experiment, error) {
+	reg := Registry()
+	if len(keys) == 0 {
+		return reg, nil
+	}
+	valid := make(map[string]int, len(reg))
+	var names []string
+	for i, e := range reg {
+		valid[e.Key] = i
+		names = append(names, e.Key)
+	}
+	picked := make([]bool, len(reg))
+	for _, k := range keys {
+		i, ok := valid[strings.ToLower(strings.TrimSpace(k))]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %s)", k, strings.Join(names, ", "))
+		}
+		picked[i] = true
+	}
+	var out []Experiment
+	for i, e := range reg {
+		if picked[i] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+// Package sched executes a batch of independent simulation tasks on a
+// bounded pool of worker goroutines while keeping the observable output
+// bit-for-bit identical at any worker count.
+//
+// Determinism is structural, not accidental: results are written into a
+// slice slot fixed by each task's position in the input, and errors are
+// reported joined in input order, so neither completion order nor goroutine
+// interleaving can leak into what callers see. This is the property the
+// lvmlint nondeterm analyzer guards across the experiment stack — the
+// scheduler upholds it by construction and never iterates a map.
+//
+// Parallelism is bounded twice: by Workers (goroutines) and by BudgetBytes
+// (the sum of in-flight tasks' CostBytes). Simulation runs each hold a
+// multi-gigabyte simulated phys.Memory plus its page tables, so the
+// binding constraint on real machines is footprint, not GOMAXPROCS; the
+// budget semaphore admits a new task only when its cost fits.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Task is one unit of work: an opaque key plus its peak memory claim.
+type Task[K any] struct {
+	// Key identifies the work; it is handed verbatim to the exec function.
+	Key K
+	// CostBytes is the task's peak memory claim counted against
+	// Options.BudgetBytes while the task is in flight. Tasks costing more
+	// than the whole budget are clamped to it, so they still run — alone.
+	CostBytes uint64
+}
+
+// Options bounds a batch execution.
+type Options struct {
+	// Workers is the number of worker goroutines (values < 1 mean 1).
+	Workers int
+	// BudgetBytes caps the summed CostBytes of in-flight tasks
+	// (0 means unbounded).
+	BudgetBytes uint64
+}
+
+// budget is a counting semaphore over bytes.
+type budget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   uint64
+	inUse uint64
+}
+
+func newBudget(cap uint64) *budget {
+	b := &budget{cap: cap}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *budget) acquire(n uint64) {
+	if b.cap == 0 {
+		return
+	}
+	if n > b.cap {
+		n = b.cap // oversized tasks run alone rather than deadlocking
+	}
+	b.mu.Lock()
+	for b.inUse+n > b.cap {
+		b.cond.Wait()
+	}
+	b.inUse += n
+	b.mu.Unlock()
+}
+
+func (b *budget) release(n uint64) {
+	if b.cap == 0 {
+		return
+	}
+	if n > b.cap {
+		n = b.cap
+	}
+	b.mu.Lock()
+	b.inUse -= n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Run executes exec once per task and returns the results aligned with the
+// input order: out[i] is the result for tasks[i]. Every task runs to
+// completion even when others fail, so the error value — all failures
+// wrapped and joined in input order — does not depend on scheduling. A
+// failed task leaves its slot at the zero value.
+func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([]V, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	out := make([]V, len(tasks))
+	errs := make([]error, len(tasks))
+	if len(tasks) == 0 {
+		return out, nil
+	}
+
+	bud := newBudget(opt.BudgetBytes)
+	next := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				bud.acquire(t.CostBytes)
+				v, err := exec(t.Key)
+				bud.release(t.CostBytes)
+				// Each goroutine writes only its own slots; the final
+				// wg.Wait orders these writes before any read.
+				out[i] = v
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("task %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(failed...)
+}

@@ -1,0 +1,130 @@
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lvm/internal/experiments/sched"
+)
+
+func tasks(n int, cost uint64) []sched.Task[int] {
+	ts := make([]sched.Task[int], n)
+	for i := range ts {
+		ts[i] = sched.Task[int]{Key: i, CostBytes: cost}
+	}
+	return ts
+}
+
+// Results must land in input order at every worker count.
+func TestRunDeterministicOrder(t *testing.T) {
+	ts := tasks(50, 1)
+	var want []string
+	for i := 0; i < 50; i++ {
+		want = append(want, fmt.Sprintf("r%d", i))
+	}
+	for _, workers := range []int{1, 2, 4, 8, 64} {
+		out, err := sched.Run(ts, sched.Options{Workers: workers}, func(k int) (string, error) {
+			return fmt.Sprintf("r%d", k), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("workers=%d: out = %v", workers, out)
+		}
+	}
+}
+
+// All tasks run even when some fail, and every failure is reported joined
+// in input order.
+func TestRunErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	out, err := sched.Run(tasks(10, 0), sched.Options{Workers: 4}, func(k int) (int, error) {
+		ran.Add(1)
+		if k == 3 || k == 7 {
+			return 0, fmt.Errorf("task-%d: %w", k, boom)
+		}
+		return k * 10, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain lost: %v", err)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d tasks, want all 10 despite failures", got)
+	}
+	if out[4] != 40 {
+		t.Fatalf("successful slots must survive: out[4] = %d", out[4])
+	}
+	if out[3] != 0 || out[7] != 0 {
+		t.Fatalf("failed slots must stay zero: %v", out)
+	}
+	// Both failures, in input order.
+	msg := err.Error()
+	i3, i7 := indexOf(msg, "task-3"), indexOf(msg, "task-7")
+	if i3 < 0 || i7 < 0 || i3 > i7 {
+		t.Fatalf("errors not joined in input order: %q", msg)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// The budget semaphore must bound the summed cost of in-flight tasks.
+func TestRunBudgetBound(t *testing.T) {
+	const cost = 1 << 20
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+	_, err := sched.Run(tasks(32, cost), sched.Options{Workers: 16, BudgetBytes: 3 * cost},
+		func(k int) (struct{}, error) {
+			mu.Lock()
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			mu.Unlock()
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Fatalf("budget admitted %d concurrent tasks, cap is 3", peak)
+	}
+}
+
+// A task costing more than the whole budget is clamped, not deadlocked.
+func TestRunOversizedTask(t *testing.T) {
+	out, err := sched.Run([]sched.Task[int]{{Key: 1, CostBytes: 1 << 40}},
+		sched.Options{Workers: 4, BudgetBytes: 1 << 20},
+		func(k int) (int, error) { return k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := sched.Run(nil, sched.Options{Workers: 4}, func(k int) (int, error) { return k, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

@@ -27,20 +27,22 @@ type TailLatencyResult struct {
 // TailLatency reproduces §7.3's memcached tail study: request latencies
 // are measured with the OS continuously mapping and unmapping pages (the
 // LVM maintenance path) between requests; p99 must be unaffected.
-func (r *Runner) TailLatency() TailLatencyResult {
+func (r *Runner) TailLatency() (TailLatencyResult, error) {
 	var res TailLatencyResult
-	w := r.Workload("mem$")
+	w, err := r.Workload("mem$")
+	if err != nil {
+		return TailLatencyResult{}, err
+	}
 
-	run := func(churn bool) (p50, p99 float64) {
-		mem := r.physFor(w)
-		pwc, lwc := sim.ScaledHW()
-		sys := oskernel.NewSystemHW(mem, oskernel.SchemeLVM,
-			oskernel.HWConfig{PWCEntriesPerLevel: pwc, LWCEntries: lwc})
-		p, err := sys.Launch(1, w.Space, false)
+	run := func(churn bool) (p50, p99 float64, err error) {
+		sys, p, err := launchScaled(r.physFor(w), oskernel.SchemeLVM, w.Space, false)
 		if err != nil {
-			panic(err)
+			return 0, 0, fmt.Errorf("tail churn=%t: launch: %w", churn, err)
 		}
-		heap := heapOf(w.Space)
+		heap, err := heapOf(w.Space)
+		if err != nil {
+			return 0, 0, fmt.Errorf("tail churn=%t: %w", churn, err)
+		}
 		tail := heap.Mapped[len(heap.Mapped)-1]
 		cpu := sim.New(r.Cfg.Sim, sys.Walker())
 
@@ -72,16 +74,20 @@ func (r *Runner) TailLatency() TailLatencyResult {
 			}
 		}
 		_, lats := cpu.RunTail(1, w, hook)
-		return stats.Percentile(lats, 50), stats.Percentile(lats, 99)
+		return stats.Percentile(lats, 50), stats.Percentile(lats, 99), nil
 	}
 
-	res.StaticP50, res.StaticP99 = run(false)
-	res.ChurnP50, res.ChurnP99 = run(true)
+	if res.StaticP50, res.StaticP99, err = run(false); err != nil {
+		return TailLatencyResult{}, err
+	}
+	if res.ChurnP50, res.ChurnP99, err = run(true); err != nil {
+		return TailLatencyResult{}, err
+	}
 
 	tb := stats.NewTable("run", "p50 cycles", "p99 cycles")
 	tb.AddRow("static", res.StaticP50, res.StaticP99)
 	tb.AddRow("with LVM mgmt churn", res.ChurnP50, res.ChurnP99)
 	tb.AddRow("churn ops", res.ChurnOps, fmt.Sprintf("%d mgmt cycles", res.MgmtCyclesCharged))
 	res.Table = tb
-	return res
+	return res, nil
 }

@@ -99,7 +99,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full lvmlint suite in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FixedQ, AddrTypes, NonDeterm, FloatFree}
+	return []*Analyzer{FixedQ, AddrTypes, NonDeterm, FloatFree, NoPanic}
 }
 
 // allow is one parsed //lint:allow comment.

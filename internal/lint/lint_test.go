@@ -33,6 +33,22 @@ func TestNonDetermMapRuleScoped(t *testing.T) {
 	linttest.Run(t, lint.NonDeterm, "testdata/src/nondeterm_unscoped", "lvm/internal/workload")
 }
 
+// The map-iteration rule extends by prefix to the experiment subpackages:
+// the parallel scheduler must not let iteration order reorder results.
+func TestNonDetermCoversScheduler(t *testing.T) {
+	linttest.Run(t, lint.NonDeterm, "testdata/src/nondeterm", "lvm/internal/experiments/sched")
+}
+
+func TestNoPanic(t *testing.T) {
+	linttest.Run(t, lint.NoPanic, "testdata/src/nopanic", "lvm/internal/experiments/sched")
+}
+
+// Outside the simulator/experiment packages (here: workload), panics are the
+// caller's business and the analyzer stays silent.
+func TestNoPanicUnscoped(t *testing.T) {
+	linttest.Run(t, lint.NoPanic, "testdata/src/nopanic_unscoped", "lvm/internal/workload")
+}
+
 func TestFloatFree(t *testing.T) {
 	linttest.Run(t, lint.FloatFree, "testdata/src/floatfree", "lvm/internal/tlb")
 }

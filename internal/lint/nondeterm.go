@@ -17,10 +17,21 @@ const wallclockPkg = ModulePath + "/internal/wallclock"
 // are reproduced exactly; Virtuoso and the RISC-V TLB-simulation work both
 // call this out as the prerequisite for trustworthy VM evaluation).
 var simPkgs = map[string]bool{
-	ModulePath + "/internal/sim":         true,
-	ModulePath + "/internal/core":        true,
-	ModulePath + "/internal/experiments": true,
-	ModulePath + "/internal/oskernel":    true,
+	ModulePath + "/internal/sim":      true,
+	ModulePath + "/internal/core":     true,
+	ModulePath + "/internal/oskernel": true,
+}
+
+// inSimScope also matches internal/experiments and every subpackage by
+// prefix, so the parallel scheduler (internal/experiments/sched) is held to
+// the same order-independence bar as the experiments it executes: a map
+// range there could reorder results between worker counts.
+func inSimScope(path string) bool {
+	if simPkgs[path] {
+		return true
+	}
+	exp := ModulePath + "/internal/experiments"
+	return path == exp || strings.HasPrefix(path, exp+"/")
 }
 
 // NonDeterm flags sources of run-to-run nondeterminism in product code:
@@ -53,7 +64,7 @@ func runNonDeterm(pass *Pass) {
 			case *ast.CallExpr:
 				pass.checkClockAndRand(n)
 			case *ast.BlockStmt:
-				if simPkgs[pass.PkgPath] {
+				if inSimScope(pass.PkgPath) {
 					pass.checkMapRanges(n)
 				}
 			}

@@ -1,0 +1,47 @@
+// Seeded violations for the nopanic analyzer. The test loads this package
+// under the import path lvm/internal/experiments/sched, where panics are
+// banned: an escaped panic on a worker goroutine kills the whole sweep.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+func direct(err error) {
+	if err != nil {
+		panic(err) // want `panic on a simulation path`
+	}
+}
+
+func parenthesized() {
+	(panic)("boom") // want `panic on a simulation path`
+}
+
+func message(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n)) // want `panic on a simulation path`
+	}
+}
+
+// sanctioned: return a wrapped error instead of panicking.
+func wrapped(err error) error {
+	if err != nil {
+		return fmt.Errorf("task failed: %w", err)
+	}
+	return nil
+}
+
+// sanctioned: a genuinely unreachable invariant carries an audited allow.
+func invariant(state int) {
+	if state > 2 {
+		//lint:allow nopanic state is a 2-bit field, >2 is memory corruption
+		panic("corrupt state")
+	}
+}
+
+// shadowed: a local identifier named panic is not the builtin.
+func shadowed() {
+	panic := func(string) error { return errors.New("not a real panic") }
+	_ = panic("fine")
+}

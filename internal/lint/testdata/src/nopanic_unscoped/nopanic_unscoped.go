@@ -1,0 +1,9 @@
+// Loaded as lvm/internal/workload, which is outside the nopanic scope:
+// nothing here may be reported.
+package nopanic_unscoped
+
+func outOfScope(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -217,7 +217,17 @@ func (s *System) Process(asid uint16) *Process { return s.procs[asid] }
 // Launch creates a process: physical frames are allocated for every mapped
 // page (the paper's workloads run at steady state, so we map eagerly), the
 // scheme's translation structure is built, and the walker is attached.
+// Failures come back wrapped with the ASID and scheme so callers several
+// layers up can report which launch failed.
 func (s *System) Launch(asid uint16, space *vas.AddressSpace, thp bool) (*Process, error) {
+	p, err := s.launch(asid, space, thp)
+	if err != nil {
+		return nil, fmt.Errorf("oskernel: launch asid=%d scheme=%s: %w", asid, s.Scheme, err)
+	}
+	return p, nil
+}
+
+func (s *System) launch(asid uint16, space *vas.AddressSpace, thp bool) (*Process, error) {
 	p := &Process{
 		ASID:      asid,
 		Space:     space,
@@ -240,7 +250,7 @@ func (s *System) Launch(asid uint16, space *vas.AddressSpace, thp bool) (*Proces
 			for i := addr.VPN(0); i < 512; i++ {
 				base, err := s.Mem.Alloc(0)
 				if err != nil {
-					return nil, fmt.Errorf("oskernel: out of memory mapping %#x: %w", uint64(tr.VPN+i), err)
+					return nil, fmt.Errorf("out of memory mapping %#x: %w", uint64(tr.VPN+i), err)
 				}
 				p.dataPages[tr.VPN+i] = dataPage{base, 0}
 				mappings = append(mappings, mapping{tr.VPN + i, pte.New(base, addr.Page4K)})
@@ -249,7 +259,7 @@ func (s *System) Launch(asid uint16, space *vas.AddressSpace, thp bool) (*Proces
 		}
 		base, err := s.Mem.Alloc(0)
 		if err != nil {
-			return nil, fmt.Errorf("oskernel: out of memory mapping %#x: %w", uint64(tr.VPN), err)
+			return nil, fmt.Errorf("out of memory mapping %#x: %w", uint64(tr.VPN), err)
 		}
 		p.dataPages[tr.VPN] = dataPage{base, 0}
 		mappings = append(mappings, mapping{tr.VPN, pte.New(base, tr.Size)})

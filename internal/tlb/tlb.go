@@ -35,10 +35,12 @@ type TLB struct {
 // page size.
 func New(entries, ways int, size addr.PageSize) *TLB {
 	if entries%ways != 0 {
+		//lint:allow nopanic compile-time geometry from sim.Config, never reachable from run inputs
 		panic("tlb: entries must be a multiple of ways")
 	}
 	nsets := entries / ways
 	if nsets&(nsets-1) != 0 {
+		//lint:allow nopanic compile-time geometry from sim.Config, never reachable from run inputs
 		panic("tlb: set count must be a power of two")
 	}
 	t := &TLB{size: size, ways: ways, sets: make([][]entry, nsets)}

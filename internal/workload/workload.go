@@ -12,6 +12,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -158,6 +159,10 @@ func sharedGraph(p Params) *Graph {
 	return actual.(*Graph)
 }
 
+// ErrUnknown reports a workload name Build does not recognize; callers can
+// test for it with errors.Is through any number of wrapping layers.
+var ErrUnknown = errors.New("unknown workload")
+
 // Build constructs a workload by name.
 func Build(name string, p Params) (*Workload, error) {
 	switch name {
@@ -170,7 +175,7 @@ func Build(name string, p Params) (*Workload, error) {
 	case "MUMr", "mummer":
 		return buildMUMmer(p), nil
 	}
-	return nil, fmt.Errorf("workload: unknown workload %q", name)
+	return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 }
 
 // Fig2Profiles returns the Figure-2 study set: a layout configuration per
