@@ -1,0 +1,60 @@
+// Command benchgate is the benchmark regression gate: it diffs a current
+// lvmbench -json document against a committed baseline. Counters — every
+// integer metric — must match exactly (simulated results are bit-for-bit
+// deterministic); gauges are compared with a tiny relative tolerance that
+// only absorbs float-formatting differences; host wall-clock fields get a
+// generous tripwire factor, because they measure the machine, not the
+// simulator.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json -current out.json
+//
+// Exit status 0 means no regression; 1 prints every difference found.
+// Refresh the baseline by regenerating it (see EXPERIMENTS.md) whenever a
+// simulator change intentionally shifts the numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lvm/internal/experiments"
+)
+
+func main() {
+	def := experiments.DefaultGateOptions()
+	baseline := flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
+	current := flag.String("current", "", "freshly generated lvmbench -json output")
+	gaugeTol := flag.Float64("gauge-tol", def.GaugeRelTol, "relative tolerance for gauge (non-integer) metrics")
+	hostFactor := flag.Float64("host-factor", def.HostFactor, "max allowed current/baseline wall-clock factor (0 ignores timings)")
+	maxDiffs := flag.Int("max-diffs", def.MaxDiffs, "differences listed before truncating")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	if err := gate(*baseline, *current, experiments.GateOptions{
+		GaugeRelTol: *gaugeTol,
+		HostFactor:  *hostFactor,
+		MaxDiffs:    *maxDiffs,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+func gate(baselinePath, currentPath string, opt experiments.GateOptions) error {
+	base, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := os.ReadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	return experiments.CompareRunsJSON(base, cur, opt)
+}

@@ -14,6 +14,13 @@
 //	lvmbench -quick       # reduced scale (seconds)
 //	lvmbench -only fig9,table2
 //	lvmbench -j 8 -mem 64 # 8 workers under a 64 GiB simulated-memory budget
+//	lvmbench -list        # print the plan (experiments + run matrix), no execution
+//	lvmbench -quick -json out.json            # also write per-run metrics JSON
+//	lvmbench -quick -json out.json -timings   # include host wall-clock fields
+//
+// The -json document is schema-versioned and byte-identical at any -j
+// (unless -timings adds the machine-dependent host_seconds fields); CI
+// diffs it against the committed bench_baseline.json with cmd/benchgate.
 package main
 
 import (
@@ -31,23 +38,44 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork")
 	workers := flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
 	memGiB := flag.Uint64("mem", 0, "memory budget in GiB bounding the summed simulated footprint of in-flight runs (0 = default 32)")
+	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix, then exit without executing")
+	jsonPath := flag.String("json", "", "write per-run metrics as schema-versioned JSON to this path")
+	timings := flag.Bool("timings", false, "include host wall-clock fields in -json output (breaks byte-identity across invocations)")
 	flag.Parse()
 
-	if err := run(*quick, *only, *workers, *memGiB); err != nil {
+	if err := run(options{
+		quick:    *quick,
+		only:     *only,
+		workers:  *workers,
+		memGiB:   *memGiB,
+		list:     *list,
+		jsonPath: *jsonPath,
+		timings:  *timings,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "lvmbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, only string, workers int, memGiB uint64) error {
+type options struct {
+	quick    bool
+	only     string
+	workers  int
+	memGiB   uint64
+	list     bool
+	jsonPath string
+	timings  bool
+}
+
+func run(o options) error {
 	cfg := experiments.Default()
-	if quick {
+	if o.quick {
 		cfg = experiments.Quick()
 	}
 
 	var keys []string
-	if only != "" {
-		keys = strings.Split(only, ",")
+	if o.only != "" {
+		keys = strings.Split(o.only, ",")
 	}
 	exps, err := experiments.Select(keys...)
 	if err != nil {
@@ -57,12 +85,18 @@ func run(quick bool, only string, workers int, memGiB uint64) error {
 	r := experiments.NewRunner(cfg)
 	r.SetSink(experiments.NewWriterSink(os.Stderr))
 	plan := experiments.NewPlan(cfg, exps)
+
+	if o.list {
+		printPlan(plan)
+		return nil
+	}
+
 	fmt.Fprintf(os.Stderr, "plan: %d experiments, %d deduped runs, %d workers\n",
-		len(plan.Experiments), len(plan.Runs), workers)
+		len(plan.Experiments), len(plan.Runs), o.workers)
 
 	results, err := r.ExecutePlan(plan, experiments.ExecOptions{
-		Workers:        workers,
-		MemBudgetBytes: memGiB << 30,
+		Workers:        o.workers,
+		MemBudgetBytes: o.memGiB << 30,
 	})
 	if err != nil {
 		return err
@@ -70,5 +104,30 @@ func run(quick bool, only string, workers int, memGiB uint64) error {
 	for _, res := range results {
 		fmt.Print(res.Render())
 	}
+
+	if o.jsonPath != "" {
+		b, err := r.RunsJSON(plan, experiments.RunJSONOptions{Timings: o.timings})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, b, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", o.jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", len(plan.Runs), o.jsonPath)
+	}
 	return nil
+}
+
+// printPlan renders the plan phase without executing it: the selected
+// experiments in registry order and the deduped run matrix in plan
+// (first-appearance) order — exactly what ExecutePlan would simulate.
+func printPlan(p experiments.Plan) {
+	fmt.Printf("experiments (%d):\n", len(p.Experiments))
+	for _, e := range p.Experiments {
+		fmt.Printf("  %-14s %s\n", e.Key, e.Title)
+	}
+	fmt.Printf("runs (%d deduped):\n", len(p.Runs))
+	for _, k := range p.Runs {
+		fmt.Printf("  %s\n", k)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/phys"
 	"lvm/internal/pte"
@@ -140,6 +141,12 @@ func (w *Walker) Detach(asid uint16) {
 
 // Name implements mmu.Walker.
 func (w *Walker) Name() string { return "asap" }
+
+// Snapshot implements metrics.Source: ASAP walks through a radix walker,
+// so its walk-cache counters are the embedded radix PWC's.
+func (w *Walker) Snapshot() metrics.Set { return w.rad.Snapshot() }
+
+var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker. For prefetchable VMAs all requests — the
 // radix walk AND the flat PTE/PMD prefetches — are issued in one parallel

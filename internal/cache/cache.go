@@ -11,6 +11,7 @@ package cache
 import (
 	"lvm/internal/addr"
 	"lvm/internal/dram"
+	"lvm/internal/metrics"
 	"lvm/internal/stats"
 )
 
@@ -187,3 +188,25 @@ func (h *Hierarchy) HitRate(level int) float64 {
 
 // DRAM returns the underlying memory model.
 func (h *Hierarchy) DRAM() *dram.Model { return h.dram }
+
+// levelNames index the metric namespace per cache level.
+var levelNames = [3]string{"l1", "l2", "l3"}
+
+// Snapshot implements metrics.Source: per-level hit/miss counters split by
+// request class (demand vs page-walk). The split is the Figure-12
+// interface — walk pollution is only visible when walk misses are
+// distinguishable. The backing DRAM model snapshots separately (the
+// simulator namespaces it under "dram").
+func (h *Hierarchy) Snapshot() metrics.Set {
+	var s metrics.Set
+	for i, l := range h.levels {
+		name := levelNames[i]
+		s.Counter(name+".demand_hits", l.demandHits.Value())
+		s.Counter(name+".demand_misses", l.demandMisses.Value())
+		s.Counter(name+".walk_hits", l.walkHits.Value())
+		s.Counter(name+".walk_misses", l.walkMisses.Value())
+	}
+	return s
+}
+
+var _ metrics.Source = (*Hierarchy)(nil)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 )
 
@@ -69,6 +70,17 @@ func (w *HWWalker) LWC() *mmu.LWC { return w.lwc }
 
 // Flushes returns the number of LWC flush events the OS has issued.
 func (w *HWWalker) Flushes() uint64 { return w.flushes }
+
+// Snapshot implements metrics.Source: the LWC hit/miss counters plus the
+// OS-driven flush count (lwc.hits, lwc.misses, lwc.flushes).
+func (w *HWWalker) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Merge("lwc", w.lwc.Snapshot())
+	s.Counter("lwc.flushes", w.flushes)
+	return s
+}
+
+var _ metrics.Source = (*HWWalker)(nil)
 
 // Walk implements mmu.Walker.
 func (w *HWWalker) Walk(asid uint16, v addr.VPN) mmu.Outcome {

@@ -7,6 +7,7 @@ package dram
 
 import (
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/stats"
 )
 
@@ -94,3 +95,14 @@ func (m *Model) ResetStats() {
 	m.accesses.Reset()
 	m.rowHits.Reset()
 }
+
+// Snapshot implements metrics.Source: total requests that reached memory
+// and how many of them hit an open row.
+func (m *Model) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("accesses", m.accesses.Value())
+	s.Counter("row_hits", m.rowHits.Value())
+	return s
+}
+
+var _ metrics.Source = (*Model)(nil)

@@ -17,6 +17,7 @@ import (
 
 	"lvm/internal/addr"
 	"lvm/internal/blake2b"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/phys"
 	"lvm/internal/pte"
@@ -373,6 +374,17 @@ func (w *Walker) Name() string { return "ecpt" }
 
 // CWCs returns the walk-cache levels for stats.
 func (w *Walker) CWCs() (pmd, pud *mmu.PWC) { return w.cwcPMD, w.cwcPUD }
+
+// Snapshot implements metrics.Source: the CWC level counters
+// (cwc.pmd.hits, cwc.pud.misses, ...).
+func (w *Walker) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Merge("cwc.pmd", w.cwcPMD.Snapshot())
+	s.Merge("cwc.pud", w.cwcPUD.Snapshot())
+	return s
+}
+
+var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker. With CWC section information the walker
 // probes the d ways of the right page-size table in parallel; on a CWC

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"lvm/internal/experiments/sched"
 )
 
 // A Sink receives progress events from the experiment pipeline. The runner
@@ -21,6 +23,14 @@ type Sink interface {
 	ExperimentStart(key, title string)
 	// ExperimentDone fires after an experiment's compute phase.
 	ExperimentDone(key string, hostSeconds float64, err error)
+}
+
+// MemSink is an optional Sink extension: sinks that also implement it
+// receive a host-memory sample for every completed run (see
+// sched.MemSample for what the numbers mean). Like the timings, samples
+// are observational and must stay off streams compared across runs.
+type MemSink interface {
+	RunHostMem(key RunKey, s sched.MemSample)
 }
 
 // NopSink discards all events; it is the default for benchmarks and tests.
@@ -59,6 +69,11 @@ func (s *WriterSink) RunDone(key RunKey, sec float64, err error) {
 		return
 	}
 	s.printf("  done    %s in %.1fs", key, sec)
+}
+
+func (s *WriterSink) RunHostMem(key RunKey, m sched.MemSample) {
+	s.printf("  mem     %s: %.1f MiB allocated, %.1f MiB heap in use",
+		key, float64(m.AllocBytes)/(1<<20), float64(m.HeapInuseBytes)/(1<<20))
 }
 
 func (s *WriterSink) ExperimentStart(key, title string) {

@@ -110,6 +110,10 @@ type RunOutput struct {
 	// Collision stats measured over all mapped keys.
 	CollisionRate float64
 	ExtraPerColl  float64
+
+	// HostSeconds is the run's host wall-clock time — observational only,
+	// emitted into the JSON output solely under the -timings flag.
+	HostSeconds float64
 }
 
 // Runner executes and caches simulations. The caches are safe for the
@@ -254,7 +258,8 @@ func (r *Runner) execute(key RunKey) (*RunOutput, error) {
 		_, _, pde := rw.PWCs()
 		out.PWCPDEMissRate = pde.MissRate()
 	}
-	r.sink.RunDone(key, sw.Seconds(), nil)
+	out.HostSeconds = sw.Seconds()
+	r.sink.RunDone(key, out.HostSeconds, nil)
 	// Simulated memories are large; let the GC reclaim between runs.
 	runtime.GC()
 	return out, nil

@@ -86,10 +86,16 @@ func (r *Runner) ExecutePlan(p Plan, opt ExecOptions) ([]Result, error) {
 		tasks[i] = sched.Task[RunKey]{Key: k, CostBytes: r.runBytes(w)}
 	}
 
-	outs, err := sched.Run(tasks, sched.Options{
+	schedOpt := sched.Options{
 		Workers:     opt.Workers,
 		BudgetBytes: opt.MemBudgetBytes,
-	}, r.execute)
+	}
+	if ms, ok := r.sink.(MemSink); ok {
+		schedOpt.ObserveMem = func(i int, s sched.MemSample) {
+			ms.RunHostMem(p.Runs[i], s)
+		}
+	}
+	outs, err := sched.Run(tasks, schedOpt, r.execute)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lvm/internal/oskernel"
+)
+
+// jsonSweepConfig is a stripped-down Quick configuration for the JSON
+// determinism sweep: two workloads, short traces.
+func jsonSweepConfig() Config {
+	cfg := Quick()
+	cfg.Workloads = []string{"bfs", "mem$"}
+	cfg.Params.TraceLen = 50_000
+	return cfg
+}
+
+// jsonSweepPlan is a 4-run matrix (2 workloads × radix/lvm) shaped like
+// the walkcaches experiment.
+func jsonSweepPlan(cfg Config) Plan {
+	exp := Experiment{
+		Key: "tiny",
+		Requires: func(cfg Config) []RunKey {
+			return cross(cfg.Workloads, []oskernel.Scheme{oskernel.SchemeRadix, oskernel.SchemeLVM}, false)
+		},
+		Compute: func(r *Runner) (Result, error) { return Result{}, nil },
+	}
+	return NewPlan(cfg, []Experiment{exp})
+}
+
+func executeTiny(t *testing.T, workers int, timings bool) []byte {
+	t.Helper()
+	cfg := jsonSweepConfig()
+	r := NewRunner(cfg)
+	plan := jsonSweepPlan(cfg)
+	if _, err := r.ExecutePlan(plan, ExecOptions{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunsJSON(plan, RunJSONOptions{Timings: timings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The acceptance check for the JSON path: the document must be
+// byte-identical across worker counts.
+func TestRunsJSONByteIdenticalAcrossWorkers(t *testing.T) {
+	skipSweep(t)
+	j1 := executeTiny(t, 1, false)
+	j8 := executeTiny(t, 8, false)
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("-json output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+	if err := CompareRunsJSON(j1, j8, DefaultGateOptions()); err != nil {
+		t.Fatalf("gate rejected identical documents: %v", err)
+	}
+
+	var doc parsedDoc
+	if err := json.Unmarshal(j1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != RunJSONSchemaVersion {
+		t.Errorf("schema_version %d, want %d", doc.SchemaVersion, RunJSONSchemaVersion)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("%d runs, want 4", len(doc.Runs))
+	}
+	for _, run := range doc.Runs {
+		for _, name := range []string{"run.cycles", "tlb.l2.misses", "dram.accesses", "walk.refs", "cache.l3.demand_misses"} {
+			if _, ok := run.Metrics[name]; !ok {
+				t.Errorf("%s: metric %s missing", run.key(), name)
+			}
+		}
+	}
+	if strings.Contains(string(j1), "host_seconds") {
+		t.Error("host_seconds present without -timings")
+	}
+}
+
+func TestRunsJSONTimings(t *testing.T) {
+	skipSweep(t)
+	withTimings := executeTiny(t, 2, true)
+	if !strings.Contains(string(withTimings), "host_seconds") {
+		t.Error("-timings output lacks host_seconds")
+	}
+}
+
+// The unit tests below exercise the gate on hand-built documents — no
+// simulation involved.
+
+func gateDoc(version int, metrics string) []byte {
+	return []byte(`{"schema_version":` + strconv.Itoa(version) + `,"runs":[{"workload":"bfs","scheme":"radix","thp":false,"metrics":{` + metrics + `}}]}`)
+}
+
+func TestCompareRunsJSONExactCounters(t *testing.T) {
+	base := gateDoc(1, `"tlb.l2.misses":100,"run.cycles":1.5`)
+	same := gateDoc(1, `"tlb.l2.misses":100,"run.cycles":1.5`)
+	if err := CompareRunsJSON(base, same, DefaultGateOptions()); err != nil {
+		t.Errorf("identical docs rejected: %v", err)
+	}
+
+	offByOne := gateDoc(1, `"tlb.l2.misses":101,"run.cycles":1.5`)
+	if err := CompareRunsJSON(base, offByOne, DefaultGateOptions()); err == nil {
+		t.Error("counter off by one accepted")
+	} else if !strings.Contains(err.Error(), "tlb.l2.misses") {
+		t.Errorf("diff does not name the counter: %v", err)
+	}
+}
+
+func TestCompareRunsJSONGaugeTolerance(t *testing.T) {
+	base := gateDoc(1, `"run.cycles":1000.0`)
+	within := gateDoc(1, `"run.cycles":1000.0000000001`)
+	if err := CompareRunsJSON(base, within, DefaultGateOptions()); err != nil {
+		t.Errorf("gauge within tolerance rejected: %v", err)
+	}
+	outside := gateDoc(1, `"run.cycles":1000.1`)
+	if err := CompareRunsJSON(base, outside, DefaultGateOptions()); err == nil {
+		t.Error("gauge outside tolerance accepted")
+	}
+}
+
+func TestCompareRunsJSONStructuralDiffs(t *testing.T) {
+	base := gateDoc(1, `"a":1`)
+	if err := CompareRunsJSON(base, gateDoc(2, `"a":1`), DefaultGateOptions()); err == nil {
+		t.Error("schema version mismatch accepted")
+	}
+	if err := CompareRunsJSON(base, gateDoc(1, `"a":1,"b":2`), DefaultGateOptions()); err == nil {
+		t.Error("extra metric accepted")
+	}
+	if err := CompareRunsJSON(base, gateDoc(1, `"b":1`), DefaultGateOptions()); err == nil {
+		t.Error("renamed metric accepted")
+	}
+	empty := []byte(`{"schema_version":1,"runs":[]}`)
+	if err := CompareRunsJSON(base, empty, DefaultGateOptions()); err == nil {
+		t.Error("dropped run accepted")
+	}
+}

@@ -19,6 +19,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -39,6 +40,37 @@ type Options struct {
 	// BudgetBytes caps the summed CostBytes of in-flight tasks
 	// (0 means unbounded).
 	BudgetBytes uint64
+	// ObserveMem, when non-nil, receives a host-memory sample for each
+	// task after it completes, keyed by the task's input index. Samples
+	// are observational — they never influence results or scheduling —
+	// and implementations must be safe for concurrent calls from workers.
+	ObserveMem func(taskIndex int, s MemSample)
+}
+
+// MemSample is a host-side memory observation for one task, taken with
+// runtime.ReadMemStats around the task's execution.
+type MemSample struct {
+	// AllocBytes is the growth of the process's cumulative heap
+	// allocation (MemStats.TotalAlloc) across the task. The counter is
+	// process-global, so with concurrent workers allocations of
+	// overlapping tasks are attributed to every task in flight — read it
+	// as an upper bound on the task's own allocation (exact at Workers=1).
+	AllocBytes uint64
+	// HeapInuseBytes is the live heap at task completion — the actual
+	// resident set the batch needs while this task's results are held.
+	HeapInuseBytes uint64
+}
+
+// sampleMem wraps exec with before/after runtime.ReadMemStats reads.
+func sampleMem[K any, V any](exec func(K) (V, error), key K) (V, error, MemSample) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	v, err := exec(key)
+	runtime.ReadMemStats(&after)
+	return v, err, MemSample{
+		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		HeapInuseBytes: after.HeapInuse,
+	}
 }
 
 // budget is a counting semaphore over bytes.
@@ -120,7 +152,15 @@ func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([
 				}
 				t := tasks[i]
 				bud.acquire(t.CostBytes)
-				v, err := exec(t.Key)
+				var v V
+				var err error
+				if opt.ObserveMem != nil {
+					var s MemSample
+					v, err, s = sampleMem(exec, t.Key)
+					opt.ObserveMem(i, s)
+				} else {
+					v, err = exec(t.Key)
+				}
 				bud.release(t.CostBytes)
 				// Each goroutine writes only its own slots; the final
 				// wg.Wait orders these writes before any read.

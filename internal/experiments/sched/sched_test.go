@@ -128,3 +128,62 @@ func TestRunEmpty(t *testing.T) {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
 }
+
+// ObserveMem must fire exactly once per task with its input index, and the
+// allocation delta must cover what the task demonstrably allocated.
+func TestObserveMem(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	samples := make(map[int]sched.MemSample, n)
+
+	sink := make([][]byte, n)
+	out, err := sched.Run(tasks(n, 1), sched.Options{
+		Workers: 1,
+		ObserveMem: func(i int, s sched.MemSample) {
+			mu.Lock()
+			samples[i] = s
+			mu.Unlock()
+		},
+	}, func(k int) (int, error) {
+		sink[k] = make([]byte, 1<<20)
+		return k, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n || len(samples) != n {
+		t.Fatalf("%d results, %d samples, want %d each", len(out), len(samples), n)
+	}
+	for i := 0; i < n; i++ {
+		s, ok := samples[i]
+		if !ok {
+			t.Fatalf("no sample for task %d", i)
+		}
+		// At Workers=1 the global TotalAlloc delta is exactly the task's
+		// own allocation, so it must cover the 1 MiB we made.
+		if s.AllocBytes < 1<<20 {
+			t.Errorf("task %d: AllocBytes %d < allocated 1 MiB", i, s.AllocBytes)
+		}
+		if s.HeapInuseBytes == 0 {
+			t.Errorf("task %d: zero HeapInuseBytes", i)
+		}
+	}
+}
+
+// Samples must also arrive (concurrently, without races) at higher worker
+// counts; the -race CI job exercises this path.
+func TestObserveMemConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	_, err := sched.Run(tasks(32, 1), sched.Options{
+		Workers: 8,
+		ObserveMem: func(int, sched.MemSample) {
+			calls.Add(1)
+		},
+	}, func(k int) (int, error) { return k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 32 {
+		t.Errorf("%d samples, want 32", got)
+	}
+}

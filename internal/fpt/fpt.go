@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/phys"
 	"lvm/internal/pte"
@@ -219,6 +220,15 @@ func (w *Walker) Detach(asid uint16) {
 
 // Name implements mmu.Walker.
 func (w *Walker) Name() string { return "fpt" }
+
+// Snapshot implements metrics.Source: the folded-upper-level PWC counters.
+func (w *Walker) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Merge("pwc.upper", w.upper.Snapshot())
+	return s
+}
+
+var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker: folded regions take two sequential accesses
 // (one with a PWC hit); unfolded regions behave like radix (four cold,

@@ -13,6 +13,7 @@ import (
 
 	"lvm/internal/addr"
 	"lvm/internal/blake2b"
+	"lvm/internal/metrics"
 	"lvm/internal/pte"
 	"lvm/internal/stats"
 )
@@ -100,6 +101,17 @@ func (t *Table) Lookup(v addr.VPN) (e pte.Entry, probes int, ok bool) {
 func (t *Table) CollisionRate() float64 {
 	return stats.Ratio(t.insertCollisions.Value(), t.inserts.Value())
 }
+
+// Snapshot implements metrics.Source: the insert/collision counters behind
+// the §7.3 hashed-baseline comparison.
+func (t *Table) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("inserts", t.inserts.Value())
+	s.Counter("insert_collisions", t.insertCollisions.Value())
+	return s
+}
+
+var _ metrics.Source = (*Table)(nil)
 
 // LoadFactor returns the current occupancy.
 func (t *Table) LoadFactor() float64 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/phys"
 	"lvm/internal/pte"
@@ -104,6 +105,15 @@ func (w *Walker) Detach(asid uint16) { delete(w.tables, asid) }
 
 // Name implements mmu.Walker.
 func (w *Walker) Name() string { return "ideal" }
+
+// Snapshot implements metrics.Source. The ideal walker has no walk caches
+// and no counters of its own — every walk is exactly one memory request,
+// all visible in the cache/DRAM snapshots — so its set is empty; the
+// method exists so the simulator's uniform walker instrumentation covers
+// every scheme.
+func (w *Walker) Snapshot() metrics.Set { return metrics.Set{} }
+
+var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker.
 func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {

@@ -39,6 +39,12 @@ func TestNonDetermCoversScheduler(t *testing.T) {
 	linttest.Run(t, lint.NonDeterm, "testdata/src/nondeterm", "lvm/internal/experiments/sched")
 }
 
+// internal/metrics builds the snapshot sets the regression gate compares
+// byte-for-byte, so the map-iteration rule covers it too.
+func TestNonDetermCoversMetrics(t *testing.T) {
+	linttest.Run(t, lint.NonDeterm, "testdata/src/nondeterm", "lvm/internal/metrics")
+}
+
 func TestNoPanic(t *testing.T) {
 	linttest.Run(t, lint.NoPanic, "testdata/src/nopanic", "lvm/internal/experiments/sched")
 }

@@ -20,6 +20,10 @@ var simPkgs = map[string]bool{
 	ModulePath + "/internal/sim":      true,
 	ModulePath + "/internal/core":     true,
 	ModulePath + "/internal/oskernel": true,
+	// internal/metrics builds the serialized snapshot sets whose byte
+	// output the CI regression gate compares across runs: a map range
+	// there would shuffle JSON key order between invocations.
+	ModulePath + "/internal/metrics": true,
 }
 
 // inSimScope also matches internal/experiments and every subpackage by

@@ -10,6 +10,7 @@ package mmu
 
 import (
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/pte"
 	"lvm/internal/stats"
 )
@@ -143,6 +144,16 @@ func (c *LWC) Misses() uint64 { return c.misses.Value() }
 // bytes of model per entry (plus tags, accounted in internal/hwarea).
 func (c *LWC) SizeBytes() int { return cap(c.entries) * 16 }
 
+// Snapshot implements metrics.Source: the walk cache's hit/miss counters.
+func (c *LWC) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("hits", c.hits.Value())
+	s.Counter("misses", c.misses.Value())
+	return s
+}
+
+var _ metrics.Source = (*LWC)(nil)
+
 // --- Radix page walk cache -------------------------------------------------
 
 // PWC is one level of a radix page walk cache: a fully associative cache of
@@ -221,3 +232,14 @@ func (c *PWC) MissRate() float64 {
 
 // Name returns the level label ("pml4e", "pdpte", "pde").
 func (c *PWC) Name() string { return c.name }
+
+// Snapshot implements metrics.Source: the level's hit/miss counters. The
+// owning walker namespaces them by the level's Name.
+func (c *PWC) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("hits", c.hits.Value())
+	s.Counter("misses", c.misses.Value())
+	return s
+}
+
+var _ metrics.Source = (*PWC)(nil)

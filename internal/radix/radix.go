@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/phys"
 	"lvm/internal/pte"
@@ -194,6 +195,18 @@ func (w *Walker) Name() string { return "radix" }
 // PWCs returns the three walk-cache levels for stats inspection
 // (pml4e, pdpte, pde).
 func (w *Walker) PWCs() (pml4e, pdpte, pde *mmu.PWC) { return w.pml4e, w.pdpte, w.pde }
+
+// Snapshot implements metrics.Source: the per-level PWC counters
+// (pwc.pml4e.hits, pwc.pdpte.misses, ...).
+func (w *Walker) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Merge("pwc."+w.pml4e.Name(), w.pml4e.Snapshot())
+	s.Merge("pwc."+w.pdpte.Name(), w.pdpte.Snapshot())
+	s.Merge("pwc."+w.pde.Name(), w.pde.Snapshot())
+	return s
+}
+
+var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker: probe the PWC deepest-first, then chase the
 // remaining pointers sequentially.

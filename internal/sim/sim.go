@@ -16,6 +16,7 @@ import (
 	"lvm/internal/addr"
 	"lvm/internal/cache"
 	"lvm/internal/dram"
+	"lvm/internal/metrics"
 	"lvm/internal/mmu"
 	"lvm/internal/stats"
 	"lvm/internal/tlb"
@@ -40,18 +41,28 @@ type Config struct {
 	Midgard bool
 }
 
+// withTLBDefaults fills unset TLB geometry with the Table-1 sizes. It is
+// the single source of the defaults: DefaultConfig derives its published
+// values from it and New normalizes every incoming Config through it, so a
+// zero Config can never silently diverge from the documented machine.
+func (cfg Config) withTLBDefaults() Config {
+	if cfg.TLBL1Small == 0 {
+		cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2 = 64, 32, 2048
+	}
+	if cfg.TLBL2Huge == 0 {
+		cfg.TLBL2Huge = cfg.TLBL2
+	}
+	return cfg
+}
+
 // DefaultConfig matches Table 1 at 2 GHz.
 func DefaultConfig() Config {
 	return Config{
 		Cache:       cache.DefaultConfig(),
 		DRAM:        dram.DefaultConfig(),
-		TLBL1Small:  64,
-		TLBL1Huge:   32,
-		TLBL2:       2048,
-		TLBL2Huge:   2048,
 		IssueWidth:  4,
 		DataOverlap: 0.6,
-	}
+	}.withTLBDefaults()
 }
 
 // ScaledConfig is the machine model the experiment harness uses: workload
@@ -118,7 +129,17 @@ type Result struct {
 
 	// Translation faults (accesses to unmapped pages; should be zero).
 	Faults uint64
+
+	// Metrics is the full component snapshot taken when the run finished —
+	// every counter the scalar fields above are derived from, plus the
+	// derived rates as gauges, under the stable dot-namespaced schema
+	// (tlb.*, cache.*, dram.*, walk.*, run.*). It is what lvmbench -json
+	// serializes per run.
+	Metrics metrics.Set
 }
+
+// Snapshot implements metrics.Source over the finished run.
+func (r Result) Snapshot() metrics.Set { return r.Metrics }
 
 // MMUCycles returns the total translation overhead.
 func (r Result) MMUCycles() float64 { return r.TLBCycles + r.WalkCycles }
@@ -133,12 +154,7 @@ type CPU struct {
 
 // New creates a core bound to a scheme walker.
 func New(cfg Config, walker mmu.Walker) *CPU {
-	if cfg.TLBL1Small == 0 {
-		cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2 = 64, 32, 2048
-	}
-	if cfg.TLBL2Huge == 0 {
-		cfg.TLBL2Huge = cfg.TLBL2
-	}
+	cfg = cfg.withTLBDefaults()
 	return &CPU{
 		cfg:    cfg,
 		tlbs:   tlb.NewHierarchySized(cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2, cfg.TLBL2Huge),
@@ -172,70 +188,104 @@ func (c *CPU) walkLatency(out mmu.Outcome) float64 {
 
 // Run simulates a trace for one process (ASID) and returns the metrics.
 func (c *CPU) Run(asid uint16, w *workload.Workload) Result {
+	return c.run(asid, w, nil, nil)
+}
+
+// run is the single translation loop behind Run, RunTail and RunIntervals:
+// per access it charges the instruction-retire cycles, any hook-injected
+// extra work, and then the access path via step. obs, when non-nil,
+// observes every access index and its end-to-end latency after the access
+// completes — the tail study records latencies and the interval snapshots
+// cut windows there.
+func (c *CPU) run(asid uint16, w *workload.Workload, hook func(i int) float64, obs func(i int, lat float64)) Result {
 	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
 	instrs := w.InstrsPerAccess
-	for _, a := range w.Accesses {
-		res.Instructions += uint64(instrs)
-		res.Accesses++
-		res.Cycles += float64(instrs) / c.cfg.IssueWidth
-
-		v := addr.VPNOf(a.VA)
-
-		if c.cfg.Midgard {
-			c.runMidgard(asid, a, v, &res)
-			continue
+	for i, a := range w.Accesses {
+		extra := 0.0
+		if hook != nil {
+			extra = hook(i)
 		}
-
-		// 1. TLB.
-		tr, hit := c.tlbs.Lookup(asid, v)
-		res.TLBCycles += float64(tr.Latency)
-		res.Cycles += float64(tr.Latency)
-		entry := tr.Entry
-		if !hit {
-			res.L2TLBMisses++
-			// 2. Page walk.
-			out := c.walker.Walk(asid, v)
-			res.Walks++
-			res.WalkRefs += uint64(out.Refs())
-			lat := c.walkLatency(out)
-			res.WalkCycles += lat
-			res.Cycles += lat
-			if !out.Found {
-				res.Faults++
-				continue
-			}
-			entry = out.Entry
-			c.tlbs.Fill(asid, v, entry)
+		lat := c.step(asid, a, instrs, extra, &res)
+		if obs != nil {
+			obs(i, lat)
 		}
-		if !tr.HitL1 {
-			res.L1TLBMisses++
-		}
-
-		// 3. Data access.
-		pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
-		dataLat := float64(c.caches.Access(pa, false))
-		res.Cycles += dataLat * (1 - c.cfg.DataOverlap)
 	}
 	c.finish(&res)
 	return res
 }
 
-// runMidgard handles one access in the Midgard model: the cache hierarchy
+// step runs one access through the machine model — the per-access
+// translate-then-access sequence shared by every access path. Each cycle
+// component is charged to res.Cycles as it accrues; the return value is
+// the access's end-to-end latency (the same components summed in accrual
+// order), which the tail study consumes per request.
+func (c *CPU) step(asid uint16, a workload.Access, instrs int, extra float64, res *Result) float64 {
+	res.Instructions += uint64(instrs)
+	res.Accesses++
+	lat := float64(instrs)/c.cfg.IssueWidth + extra
+	res.Cycles += float64(instrs) / c.cfg.IssueWidth
+	res.Cycles += extra
+
+	v := addr.VPNOf(a.VA)
+
+	if c.cfg.Midgard {
+		return lat + c.stepMidgard(asid, a, v, res)
+	}
+
+	// 1. TLB.
+	tr, hit := c.tlbs.Lookup(asid, v)
+	res.TLBCycles += float64(tr.Latency)
+	res.Cycles += float64(tr.Latency)
+	lat += float64(tr.Latency)
+	entry := tr.Entry
+	if !hit {
+		res.L2TLBMisses++
+		// 2. Page walk.
+		out := c.walker.Walk(asid, v)
+		res.Walks++
+		res.WalkRefs += uint64(out.Refs())
+		wlat := c.walkLatency(out)
+		res.WalkCycles += wlat
+		res.Cycles += wlat
+		lat += wlat
+		if !out.Found {
+			res.Faults++
+			return lat
+		}
+		entry = out.Entry
+		c.tlbs.Fill(asid, v, entry)
+	}
+	if !tr.HitL1 {
+		res.L1TLBMisses++
+	}
+
+	// 3. Data access.
+	pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
+	dataLat := float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
+	res.Cycles += dataLat
+	return lat + dataLat
+}
+
+// stepMidgard handles one access in the Midgard model: the cache hierarchy
 // is indexed by the intermediate (virtual) address, so hits need no
 // translation at all; only LLC misses trigger a radix walk to reach DRAM.
-func (c *CPU) runMidgard(asid uint16, a workload.Access, v addr.VPN, res *Result) {
+// It returns the latency charged beyond the instruction-retire component.
+func (c *CPU) stepMidgard(asid uint16, a workload.Access, v addr.VPN, res *Result) float64 {
 	// VMA-level Midgard translation is a handful of registers: free.
 	//lint:allow addrtypes Midgard's cache hierarchy is indexed by the intermediate (virtual) address, so the VA bits are reinterpreted as the cache key on purpose
-	lat := c.caches.Access(addr.PA(a.VA), false)
-	llcMiss := lat > c.cfg.Cache.L3.LatencyCycles
-	res.Cycles += float64(lat) * (1 - c.cfg.DataOverlap)
+	raw := c.caches.Access(addr.PA(a.VA), false)
+	llcMiss := raw > c.cfg.Cache.L3.LatencyCycles
+	dataLat := float64(raw) * (1 - c.cfg.DataOverlap)
+	res.Cycles += dataLat
+	lat := dataLat
 	if !llcMiss {
-		return
+		return lat
 	}
 	// LLC miss: translate to reach memory (backside radix walk).
 	tr, hit := c.tlbs.Lookup(asid, v)
 	res.TLBCycles += float64(tr.Latency)
 	res.Cycles += float64(tr.Latency)
+	lat += float64(tr.Latency)
 	if !hit {
 		res.L2TLBMisses++
 		out := c.walker.Walk(asid, v)
@@ -244,23 +294,69 @@ func (c *CPU) runMidgard(asid uint16, a workload.Access, v addr.VPN, res *Result
 		wlat := c.walkLatency(out)
 		res.WalkCycles += wlat
 		res.Cycles += wlat
+		lat += wlat
 		if !out.Found {
 			res.Faults++
-			return
+			return lat
 		}
 		c.tlbs.Fill(asid, v, out.Entry)
 	}
 	if !tr.HitL1 {
 		res.L1TLBMisses++
 	}
+	return lat
 }
 
+// Snapshot implements metrics.Source: the uniform component snapshot of
+// the whole core — TLB hierarchy under "tlb.", cache hierarchy under
+// "cache.", memory model under "dram.", and the scheme walker's walk
+// caches under "walk." (every scheme walker is a metrics.Source).
+func (c *CPU) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Merge("tlb", c.tlbs.Snapshot())
+	s.Merge("cache", c.caches.Snapshot())
+	s.Merge("dram", c.caches.DRAM().Snapshot())
+	if src, ok := c.walker.(metrics.Source); ok {
+		s.Merge("walk", src.Snapshot())
+	}
+	return s
+}
+
+var _ metrics.Source = (*CPU)(nil)
+
+// finish derives the Result's rate and traffic fields from the component
+// snapshot — Result is a thin derivation over the metrics layer, not a
+// separate accounting.
 func (c *CPU) finish(res *Result) {
-	res.L2TLBMiss = c.tlbs.L2MissRate()
-	res.L1MPKI = c.caches.MPKI(1, res.Instructions)
-	res.L2MPKI = c.caches.MPKI(2, res.Instructions)
-	res.L3MPKI = c.caches.MPKI(3, res.Instructions)
-	res.DRAMAccesses = c.caches.DRAM().Accesses()
+	s := c.Snapshot()
+	res.L2TLBMiss = stats.Ratio(s.Uint("tlb.l2.misses"),
+		s.Uint("tlb.l2.hits")+s.Uint("tlb.l2.misses"))
+	mpki := func(level string) float64 {
+		return stats.PerKilo(s.Uint("cache."+level+".demand_misses")+
+			s.Uint("cache."+level+".walk_misses"), res.Instructions)
+	}
+	res.L1MPKI = mpki("l1")
+	res.L2MPKI = mpki("l2")
+	res.L3MPKI = mpki("l3")
+	res.DRAMAccesses = s.Uint("dram.accesses")
+
+	// Fold the run-level counters and derived rates into the snapshot so a
+	// Result carries the complete, self-describing metric set.
+	s.Counter("run.instructions", res.Instructions)
+	s.Counter("run.accesses", res.Accesses)
+	s.Counter("run.faults", res.Faults)
+	s.Counter("run.l1_tlb_misses", res.L1TLBMisses)
+	s.Counter("run.l2_tlb_misses", res.L2TLBMisses)
+	s.Counter("walk.walks", res.Walks)
+	s.Counter("walk.refs", res.WalkRefs)
+	s.Gauge("run.cycles", res.Cycles)
+	s.Gauge("run.tlb_cycles", res.TLBCycles)
+	s.Gauge("run.walk_cycles", res.WalkCycles)
+	s.Gauge("tlb.l2.miss_rate", res.L2TLBMiss)
+	s.Gauge("cache.l1.mpki", res.L1MPKI)
+	s.Gauge("cache.l2.mpki", res.L2MPKI)
+	s.Gauge("cache.l3.mpki", res.L3MPKI)
+	res.Metrics = s
 }
 
 // Speedup returns base cycles / this cycles.

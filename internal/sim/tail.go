@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/workload"
 )
 
@@ -10,50 +10,58 @@ import (
 // study) and invokes hook before each access; the hook returns extra
 // cycles to charge to that access — the experiment harness uses it to
 // inject OS-side LVM management work (inserts, retrains) and observe the
-// effect on tail latency.
+// effect on tail latency. The hook runs before the access touches the
+// TLB, so hook-driven map/unmap churn (and its shootdowns) is visible to
+// the access that follows it.
 func (c *CPU) RunTail(asid uint16, w *workload.Workload, hook func(i int) float64) (Result, []float64) {
-	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
 	latencies := make([]float64, 0, len(w.Accesses))
-	instrs := w.InstrsPerAccess
-	for i, a := range w.Accesses {
-		res.Instructions += uint64(instrs)
-		res.Accesses++
-		lat := float64(instrs) / c.cfg.IssueWidth
-		if hook != nil {
-			lat += hook(i)
-		}
-
-		v := addr.VPNOf(a.VA)
-		tr, hit := c.tlbs.Lookup(asid, v)
-		res.TLBCycles += float64(tr.Latency)
-		lat += float64(tr.Latency)
-		entry := tr.Entry
-		if !hit {
-			res.L2TLBMisses++
-			out := c.walker.Walk(asid, v)
-			res.Walks++
-			res.WalkRefs += uint64(out.Refs())
-			wl := c.walkLatency(out)
-			res.WalkCycles += wl
-			lat += wl
-			if !out.Found {
-				res.Faults++
-				res.Cycles += lat
-				latencies = append(latencies, lat)
-				continue
-			}
-			entry = out.Entry
-			c.tlbs.Fill(asid, v, entry)
-		}
-		if !tr.HitL1 {
-			res.L1TLBMisses++
-		}
-		pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
-		lat += float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
-
-		res.Cycles += lat
+	res := c.run(asid, w, hook, func(_ int, lat float64) {
 		latencies = append(latencies, lat)
-	}
-	c.finish(&res)
+	})
 	return res, latencies
+}
+
+// Interval is one window of an interval-snapshotted run: the component
+// counters that accrued during the window (a metrics.Delta of the CPU
+// snapshot) plus the window's position in the trace.
+type Interval struct {
+	// Start and End are the access-index half-open range [Start, End).
+	Start, End int
+	// Metrics holds the counter deltas for the window, under the same
+	// names as CPU.Snapshot (tlb.*, cache.*, dram.*, walk.*).
+	Metrics metrics.Set
+}
+
+// RunIntervals simulates a trace like Run and additionally cuts the
+// component counters into windows of `every` accesses: each Interval's
+// Metrics is the snapshot delta over that window, so phase behaviour
+// (TLB miss bursts, walk-cache warmup) is visible without the caller
+// re-deriving its own accounting. A non-positive `every` yields a single
+// interval spanning the whole trace.
+func (c *CPU) RunIntervals(asid uint16, w *workload.Workload, every int) (Result, []Interval) {
+	if every <= 0 {
+		every = len(w.Accesses)
+	}
+	var intervals []Interval
+	prev := c.Snapshot()
+	start := 0
+	cut := func(end int) {
+		cur := c.Snapshot()
+		intervals = append(intervals, Interval{
+			Start:   start,
+			End:     end,
+			Metrics: cur.Delta(prev),
+		})
+		prev = cur
+		start = end
+	}
+	res := c.run(asid, w, nil, func(i int, _ float64) {
+		if (i+1)%every == 0 {
+			cut(i + 1)
+		}
+	})
+	if start < len(w.Accesses) {
+		cut(len(w.Accesses))
+	}
+	return res, intervals
 }

@@ -8,7 +8,10 @@
 package tlb
 
 import (
+	"strings"
+
 	"lvm/internal/addr"
+	"lvm/internal/metrics"
 	"lvm/internal/pte"
 	"lvm/internal/stats"
 )
@@ -141,6 +144,14 @@ func (t *TLB) ResetStats() {
 	t.misses.Reset()
 }
 
+// Snapshot implements metrics.Source: the TLB's hit/miss counters.
+func (t *TLB) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("hits", t.hits.Value())
+	s.Counter("misses", t.misses.Value())
+	return s
+}
+
 // Hierarchy is the paper's two-level TLB organization: per-page-size L1
 // TLBs and per-page-size L2 TLBs.
 type Hierarchy struct {
@@ -242,3 +253,29 @@ func (h *Hierarchy) L2MissRate() float64 {
 	}
 	return stats.Ratio(misses, hits+misses)
 }
+
+// sizeLabel is the metric-namespace component for a page size ("4kb",
+// "2mb"); names must stay stable, they are part of the JSON schema.
+func sizeLabel(s addr.PageSize) string {
+	return strings.ToLower(s.String())
+}
+
+// Snapshot implements metrics.Source. Per-TLB counters are namespaced by
+// level and page size (tlb.l1.4kb.hits, ...); each level additionally
+// carries its per-size sums (tlb.l2.hits, tlb.l2.misses — the walk-trigger
+// accounting every figure derives rates from).
+func (h *Hierarchy) Snapshot() metrics.Set {
+	var s metrics.Set
+	level := func(name string, tlbs []*TLB) {
+		for _, t := range tlbs {
+			snap := t.Snapshot()
+			s.Merge(name+"."+sizeLabel(t.PageSize()), snap)
+			s.Merge(name, snap)
+		}
+	}
+	level("l1", h.L1)
+	level("l2", h.L2)
+	return s
+}
+
+var _ metrics.Source = (*Hierarchy)(nil)
