@@ -17,10 +17,16 @@
 //	lvmbench -list        # print the plan (experiments + run matrix), no execution
 //	lvmbench -quick -json out.json            # also write per-run metrics JSON
 //	lvmbench -quick -json out.json -timings   # include host wall-clock fields
+//	lvmbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The -json document is schema-versioned and byte-identical at any -j
 // (unless -timings adds the machine-dependent host_seconds fields); CI
 // diffs it against the committed bench_baseline.json with cmd/benchgate.
+//
+// The -cpuprofile/-memprofile flags capture pprof profiles of the whole
+// sweep (see EXPERIMENTS.md "Profiling the hot path" for the workflow).
+// Profiling does not perturb the simulated results — the gathered tables
+// and -json output stay byte-identical.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lvm/internal/experiments"
@@ -41,7 +48,41 @@ func main() {
 	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix, then exit without executing")
 	jsonPath := flag.String("json", "", "write per-run metrics as schema-versioned JSON to this path")
 	timings := flag.Bool("timings", false, "include host wall-clock fields in -json output (breaks byte-identity across invocations)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the sweep to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvmbench: creating %s: %v\n", *cpuprofile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lvmbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvmbench: creating %s: %v\n", *memprofile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lvmbench: writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+	}()
 
 	if err := run(options{
 		quick:    *quick,

@@ -120,6 +120,10 @@ func (t *Table) Release() {
 type Walker struct {
 	tables map[uint16]*Table
 	rad    *radix.Walker
+	// buf is the reusable walk-trace buffer for prefetchable walks; the
+	// embedded radix walker appends into it directly, so composing the
+	// prefetches with the validating walk never copies a trace.
+	buf mmu.WalkBuf
 }
 
 // NewWalker creates the walker (radix PWC sizing from Table 1).
@@ -157,25 +161,18 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	if !ok {
 		return mmu.Outcome{}
 	}
-	base := w.rad.Walk(asid, v)
 	vm := t.vmaFor(v)
 	if vm == nil || !vm.prefetchable {
-		return base // plain radix behaviour
+		return w.rad.Walk(asid, v) // plain radix behaviour
 	}
-	flat := []addr.PA{
-		addr.SlotPA(vm.ptBase, uint64(v-vm.lo), pte.Bytes),
-		addr.SlotPA(vm.pmdBase, uint64(v-vm.lo)/512, pte.Bytes),
-	}
-	all := flat
-	for _, g := range base.Groups {
-		all = append(all, g...)
-	}
-	return mmu.Outcome{
-		Entry:           base.Entry,
-		Found:           base.Found,
-		Groups:          [][]addr.PA{all},
-		WalkCacheCycles: base.WalkCacheCycles,
-	}
+	// Seed the collapsed buffer with the flat PTE/PMD prefetches, then let
+	// the validating radix walk append its requests into the same parallel
+	// group — no intermediate slice, no copy.
+	w.buf.Reset()
+	w.buf.Collapse()
+	w.buf.Add(addr.SlotPA(vm.ptBase, uint64(v-vm.lo), pte.Bytes))
+	w.buf.Add(addr.SlotPA(vm.pmdBase, uint64(v-vm.lo)/512, pte.Bytes))
+	return w.rad.WalkInto(&w.buf, asid, v)
 }
 
 var _ mmu.Walker = (*Walker)(nil)

@@ -27,8 +27,8 @@ func TestPrefetchableVMA(t *testing.T) {
 	}
 	// All requests in one parallel group: the prefetch hides the radix
 	// latency, but the traffic is radix + 2.
-	if len(out.Groups) != 1 {
-		t.Errorf("ASAP must issue one parallel group, got %d", len(out.Groups))
+	if out.NumGroups() != 1 {
+		t.Errorf("ASAP must issue one parallel group, got %d", out.NumGroups())
 	}
 	if out.Refs() < 3 {
 		t.Errorf("ASAP refs = %d, want radix walk + 2 prefetches", out.Refs())
@@ -71,7 +71,7 @@ func TestUnprefetchableFallsBackToRadix(t *testing.T) {
 		t.Fatal("walk failed")
 	}
 	// Plain radix: sequential groups.
-	if len(out.Groups) != out.Refs() {
+	if out.NumGroups() != out.Refs() {
 		t.Error("fallback walk must be sequential radix")
 	}
 }

@@ -52,8 +52,8 @@ func TestChurnOracle(t *testing.T) {
 		if mapped && out.Entry != want {
 			t.Fatalf("VPN %d: entry %v want %v", v, out.Entry, want)
 		}
-		if mapped && len(out.Groups) != 1 {
-			t.Fatalf("VPN %d: prefetchable walk has %d groups, want 1", v, len(out.Groups))
+		if mapped && out.NumGroups() != 1 {
+			t.Fatalf("VPN %d: prefetchable walk has %d groups, want 1", v, out.NumGroups())
 		}
 	}
 }
@@ -77,15 +77,18 @@ func TestPrefetchLatencyCollapses(t *testing.T) {
 	w := NewWalker()
 	w.Attach(1, tb)
 
+	// Walk outcomes view the walker's reusable buffer, so snapshot the
+	// first walk's counts before issuing the second.
 	pref := w.Walk(1, inVMA)
+	prefGroups, prefRefs := pref.NumGroups(), pref.Refs()
 	plain := w.Walk(1, outVMA)
-	if len(pref.Groups) >= len(plain.Groups) {
+	if prefGroups >= plain.NumGroups() {
 		t.Errorf("prefetch groups %d not fewer than radix groups %d",
-			len(pref.Groups), len(plain.Groups))
+			prefGroups, plain.NumGroups())
 	}
-	if pref.Refs() <= plain.Refs() {
+	if prefRefs <= plain.Refs() {
 		t.Errorf("prefetch refs %d not more than radix refs %d (cold)",
-			pref.Refs(), plain.Refs())
+			prefRefs, plain.Refs())
 	}
 }
 
@@ -113,7 +116,7 @@ func TestAllocFailuresUnderFragmentation(t *testing.T) {
 	if !out.Found {
 		t.Fatal("walk failed")
 	}
-	if len(out.Groups) < 2 {
-		t.Errorf("unprefetchable VMA should walk sequentially, got %d groups", len(out.Groups))
+	if out.NumGroups() < 2 {
+		t.Errorf("unprefetchable VMA should walk sequentially, got %d groups", out.NumGroups())
 	}
 }

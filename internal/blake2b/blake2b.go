@@ -118,9 +118,15 @@ func Sum256(data []byte) [32]byte {
 
 // Sum64 hashes a 64-bit key and returns the first 8 digest bytes as a
 // uint64, the form the hashed-page-table baseline uses for slot selection.
+// It runs the single-block path inline — same parameter block and final
+// compression as Sum(key, 8) — so hot-path table indexing never allocates
+// a digest buffer.
 func Sum64(key uint64) uint64 {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], key)
-	d := Sum(buf[:], 8)
-	return binary.LittleEndian.Uint64(d)
+	var h [8]uint64
+	copy(h[:], iv[:])
+	h[0] ^= 0x01010000 ^ 8
+	var block [128]byte
+	binary.LittleEndian.PutUint64(block[:], key)
+	compress(&h, &block, 8, true)
+	return h[0]
 }

@@ -20,6 +20,9 @@ type HWWalker struct {
 	lastRetrains map[uint16]uint64
 	lastRebuilds map[uint16]uint64
 	lastLazy     map[uint16]uint64
+	// buf is the reusable walk-trace buffer; Walk outcomes view it and
+	// stay valid until the next Walk.
+	buf mmu.WalkBuf
 }
 
 type attachment struct {
@@ -94,19 +97,20 @@ func (w *HWWalker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 		v = at.norm(v)
 	}
 	r := ix.Walk(v)
-	out := mmu.Outcome{Entry: r.Entry, Found: r.Found}
+	w.buf.Reset()
+	wcc := 0
 	for _, n := range r.Nodes {
-		out.WalkCacheCycles += mmu.StepCycles
+		wcc += mmu.StepCycles
 		if !w.lwc.Lookup(asid, n.Level, n.Offset) {
 			// Fetch the 64-byte line holding the node from memory.
-			out.Groups = append(out.Groups, []addr.PA{n.PA})
+			w.buf.AddGroup(n.PA)
 			w.lwc.Insert(asid, n.Level, n.Offset)
 		}
 	}
 	for _, pa := range r.PTEPAs {
-		out.Groups = append(out.Groups, []addr.PA{pa})
+		w.buf.AddGroup(pa)
 	}
-	return out
+	return w.buf.Outcome(r.Entry, r.Found, wcc)
 }
 
 // reconcile applies OS-side retrain/rebuild events to the LWC: a retrain

@@ -76,6 +76,13 @@ type Index struct {
 	loKey, hiKey uint64
 	mapped       int
 
+	// Reusable walk scratch: Walk's returned Nodes/PTEPAs slices view
+	// walkNodes/walkPTEPAs and stay valid until the next Walk; walkSeen
+	// holds the probed-cluster dedup set (regioned per nested invocation).
+	walkNodes  []NodeRef
+	walkPTEPAs []addr.PA
+	walkSeen   []int
+
 	stats IndexStats
 }
 

@@ -49,15 +49,45 @@ type WalkResult struct {
 //
 // Internal-node granules are whole 2 MB multiples, so a huge page's
 // interior always routes to the same leaf as its base.
+//
+// The returned Nodes and PTEPAs slices view the Index's reusable walk
+// scratch and stay valid only until the next Walk.
 func (ix *Index) Walk(v addr.VPN) WalkResult {
 	var res WalkResult
+	ix.walkNodes = ix.walkNodes[:0]
+	ix.walkPTEPAs = ix.walkPTEPAs[:0]
+	ix.walkSeen = ix.walkSeen[:0]
+	ix.walkInto(&res, v, true)
+	res.Nodes = ix.walkNodes
+	res.PTEPAs = ix.walkPTEPAs
+	return res
+}
+
+// seenCluster reports whether cluster c was already probed by the walk
+// invocation whose seen region starts at base (the 1 GB retry runs as a
+// nested invocation with its own region, like the recursive formulation's
+// per-call set).
+func (ix *Index) seenCluster(base, c int) bool {
+	for _, s := range ix.walkSeen[base:] {
+		if s == c {
+			return true
+		}
+	}
+	return false
+}
+
+// walkInto is Walk's engine: it appends node and PTE-cluster refs onto the
+// Index's shared scratch buffers and fills res's scalar fields. retry1G
+// guards the nested gigabyte-aligned retry (the nested walk never needs
+// one itself: its VPN is already 1 GB-aligned).
+func (ix *Index) walkInto(res *WalkResult, v addr.VPN, retry1G bool) {
 	if ix.root == nil {
-		return res
+		return
 	}
 	// Traverse internal nodes once.
 	n := ix.root
 	for !n.isLeaf() {
-		res.Nodes = append(res.Nodes, NodeRef{n.level, n.offset, ix.NodePA(n.level, n.offset)})
+		ix.walkNodes = append(ix.walkNodes, NodeRef{n.level, n.offset, ix.NodePA(n.level, n.offset)})
 		p := n.predict(v)
 		first := n.children[0].offset
 		idx := int(p) - first
@@ -69,11 +99,11 @@ func (ix *Index) Walk(v addr.VPN) WalkResult {
 		}
 		n = n.children[idx]
 	}
-	res.Nodes = append(res.Nodes, NodeRef{n.level, n.offset, ix.NodePA(n.level, n.offset)})
+	ix.walkNodes = append(ix.walkNodes, NodeRef{n.level, n.offset, ix.NodePA(n.level, n.offset)})
 	if n.table == nil {
 		// Empty leaf: nothing is mapped in this range; the walker reports
 		// not-present without a PTE fetch (a null table descriptor).
-		return res
+		return
 	}
 
 	base := addr.AlignDown(v, addr.Page2M)
@@ -81,31 +111,34 @@ func (ix *Index) Walk(v addr.VPN) WalkResult {
 		target addr.VPN
 		budget int
 	}
-	stages := []stage{{v, 0}}
+	var stages [4]stage
+	nstages := 0
+	push := func(s stage) { stages[nstages] = s; nstages++ }
+	push(stage{v, 0})
 	if base != v {
-		stages = append(stages, stage{base, 0})
+		push(stage{base, 0})
 	}
-	stages = append(stages, stage{v, ix.params.CErr})
+	push(stage{v, ix.params.CErr})
 	if base != v {
-		stages = append(stages, stage{base, ix.params.CErr})
+		push(stage{base, ix.params.CErr})
 	}
-	seen := map[int]bool{}
-	for _, st := range stages {
+	seenBase := len(ix.walkSeen)
+	for _, st := range stages[:nstages] {
 		pred := int(n.predict(st.target))
-		if st.budget == 0 && seen[gapped.ClusterOf(clampPred(pred, n.table.Slots()))] {
+		if st.budget == 0 && ix.seenCluster(seenBase, gapped.ClusterOf(clampPred(pred, n.table.Slots()))) {
 			continue
 		}
 		lr := n.table.Lookup(pred, v, st.budget)
 		for _, c := range lr.Clusters {
-			seen[c] = true
-			res.PTEPAs = append(res.PTEPAs, n.table.ClusterPA(c))
+			ix.walkSeen = append(ix.walkSeen, c)
+			ix.walkPTEPAs = append(ix.walkPTEPAs, n.table.ClusterPA(c))
 		}
 		res.PTEAccesses += lr.Accesses
 		if lr.Found {
 			res.Found = true
 			res.Entry = lr.Entry
 			res.Collided = res.PTEAccesses > 1
-			return res
+			return
 		}
 	}
 	// Bounded binary search over the approximately sorted table — the
@@ -113,7 +146,7 @@ func (ix *Index) Walk(v addr.VPN) WalkResult {
 	lr := n.table.LookupBinary(int(n.predict(v)), v)
 	res.PTEAccesses += lr.Accesses
 	for _, c := range lr.Clusters {
-		res.PTEPAs = append(res.PTEPAs, n.table.ClusterPA(c))
+		ix.walkPTEPAs = append(ix.walkPTEPAs, n.table.ClusterPA(c))
 	}
 	if !lr.Found {
 		// The binary navigation is a heuristic over approximately sorted
@@ -122,7 +155,7 @@ func (ix *Index) Walk(v addr.VPN) WalkResult {
 		lr = n.table.Lookup(int(n.predict(v)), v, n.table.Slots()/pte.ClusterSlots+1)
 		res.PTEAccesses += lr.Accesses
 		for _, c := range lr.Clusters {
-			res.PTEPAs = append(res.PTEPAs, n.table.ClusterPA(c))
+			ix.walkPTEPAs = append(ix.walkPTEPAs, n.table.ClusterPA(c))
 		}
 	}
 	if lr.Found {
@@ -131,23 +164,22 @@ func (ix *Index) Walk(v addr.VPN) WalkResult {
 		res.Entry = lr.Entry
 		res.Collided = true
 		res.Overflowed = true
-		return res
+		return
 	}
 	// 1 GB pages: a final retry with the gigabyte-aligned VPN, which may
 	// route to a different leaf (1 GB granules are not boundary-protected
-	// the way 2 MB granules are).
-	if b1 := addr.AlignDown(v, addr.Page1G); b1 != v && b1 != base {
-		r1 := ix.Walk(b1)
-		res.Nodes = append(res.Nodes, r1.Nodes...)
+	// the way 2 MB granules are). Its node and PTE refs land on the shared
+	// scratch in traversal order; only a 1 GB hit propagates the entry.
+	if b1 := addr.AlignDown(v, addr.Page1G); retry1G && b1 != v && b1 != base {
+		var r1 WalkResult
+		ix.walkInto(&r1, b1, false)
 		res.PTEAccesses += r1.PTEAccesses
-		res.PTEPAs = append(res.PTEPAs, r1.PTEPAs...)
 		if r1.Found && r1.Entry.Size() == addr.Page1G {
 			res.Found = true
 			res.Entry = r1.Entry
 			res.Collided = true
 		}
 	}
-	return res
 }
 
 func clampPred(p, slots int) int {

@@ -206,14 +206,13 @@ func (c *cuckoo) remove(v addr.VPN) bool {
 	return false
 }
 
-// probePAs returns the d physical addresses a hardware walk fetches.
-func (c *cuckoo) probePAs(v addr.VPN) []addr.PA {
+// probeInto appends the d physical addresses a hardware walk fetches to
+// the open group of b, allocation-free.
+func (c *cuckoo) probeInto(b *mmu.WalkBuf, v addr.VPN) {
 	tag := addr.AlignDown(v, c.size)
-	pas := make([]addr.PA, 0, Ways)
 	for _, w := range c.ways {
-		pas = append(pas, w.slotPA(w.index(tag)))
+		b.Add(w.slotPA(w.index(tag)))
 	}
-	return pas
 }
 
 // Table is one process's ECPT: one cuckoo structure per page size plus the
@@ -347,6 +346,9 @@ type Walker struct {
 	// cwcPMD caches CWT entries at 2MB-region granularity; cwcPUD at
 	// 1GB-region granularity (Table 1: 16 and 2 entries).
 	cwcPMD, cwcPUD *mmu.PWC
+	// buf is the reusable walk-trace buffer; Walk outcomes view it and
+	// stay valid until the next Walk.
+	buf mmu.WalkBuf
 }
 
 // NewWalker creates the walker with Table-1 CWC sizing.
@@ -395,45 +397,39 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	if !ok {
 		return mmu.Outcome{}
 	}
-	out := mmu.Outcome{WalkCacheCycles: mmu.StepCycles}
+	w.buf.Reset()
 	region := t.region(v)
 
-	mask, haveMask := t.cwt[region], true
+	// An empty mask truly means nothing is mapped in the region (the CWT
+	// is updated on Map), so no size bit is set and no probe is issued.
+	mask := t.cwt[region]
 	if !w.cwcPMD.Lookup(asid, region) && !w.cwcPUD.Lookup(asid, region>>9) {
 		// CWC miss: fetch the CWT entry from memory, then probe.
-		out.Groups = append(out.Groups, []addr.PA{t.cwtPA(region)})
+		w.buf.AddGroup(t.cwtPA(region))
 		w.cwcPMD.Insert(asid, region)
 		w.cwcPUD.Insert(asid, region>>9)
 	}
-	if mask == 0 {
-		// Nothing mapped in the region per CWT... but probe conservatively
-		// in case the region is brand new (mask updated on Map, so an
-		// empty mask truly means unmapped).
-		haveMask = false
-	}
 
-	var probe []addr.PA
-	sizes := []addr.PageSize{}
-	if haveMask {
-		for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M} {
-			if mask&(1<<uint(s)) != 0 {
-				sizes = append(sizes, s)
+	// All indicated page-size tables are probed as one parallel group,
+	// appended straight into the walk buffer; an empty group is dropped.
+	probeSizes := [...]addr.PageSize{addr.Page4K, addr.Page2M}
+	w.buf.Group()
+	for _, s := range probeSizes {
+		if mask&(1<<uint(s)) != 0 {
+			t.tables[s].probeInto(&w.buf, v)
+		}
+	}
+	var entry pte.Entry
+	found := false
+	for _, s := range probeSizes {
+		if mask&(1<<uint(s)) != 0 {
+			if e, ok := t.tables[s].lookup(v); ok {
+				entry, found = e, true
+				break
 			}
 		}
 	}
-	for _, s := range sizes {
-		probe = append(probe, t.tables[s].probePAs(v)...)
-	}
-	if len(probe) > 0 {
-		out.Groups = append(out.Groups, probe)
-	}
-	for _, s := range sizes {
-		if e, ok := t.tables[s].lookup(v); ok {
-			out.Entry, out.Found = e, true
-			break
-		}
-	}
-	return out
+	return w.buf.Outcome(entry, found, mmu.StepCycles)
 }
 
 var _ mmu.Walker = (*Walker)(nil)

@@ -99,8 +99,8 @@ func TestWalkerParallelProbes(t *testing.T) {
 	if out.Refs() != Ways {
 		t.Errorf("warm ECPT walk made %d refs, want %d", out.Refs(), Ways)
 	}
-	if len(out.Groups) != 1 || len(out.Groups[0]) != Ways {
-		t.Errorf("warm probes must be one parallel group: %+v", out.Groups)
+	if out.NumGroups() != 1 || len(out.Group(0)) != Ways {
+		t.Errorf("warm probes must be one parallel group: %+v", out.AllRefs())
 	}
 }
 

@@ -201,6 +201,9 @@ func (t *Table) Release() {
 type Walker struct {
 	tables map[uint16]*Table
 	upper  *mmu.PWC
+	// buf is the reusable walk-trace buffer; Walk outcomes view it and
+	// stay valid until the next Walk.
+	buf mmu.WalkBuf
 }
 
 // NewWalker creates the walker (32-entry upper PWC, as radix's per-level
@@ -238,24 +241,24 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	if !ok {
 		return mmu.Outcome{}
 	}
-	out := mmu.Outcome{WalkCacheCycles: mmu.StepCycles}
+	w.buf.Reset()
 	r := t.regionFor(v)
 
 	upperHit := w.upper.Lookup(asid, uint64(v)>>upperIndexBits)
 	if !upperHit {
-		out.Groups = append(out.Groups, []addr.PA{t.upperPA(v)})
+		w.buf.AddGroup(t.upperPA(v))
 		w.upper.Insert(asid, uint64(v)>>upperIndexBits)
 	}
 	if r.folded && t.upperFolded {
-		out.Groups = append(out.Groups, []addr.PA{t.leafPA(r, v)})
+		w.buf.AddGroup(t.leafPA(r, v))
 	} else {
 		// Radix fallback inside this region: PMD then PTE (the upper
 		// covered L4+L3 equivalents).
-		out.Groups = append(out.Groups, []addr.PA{t.pmdPA(r, v)}, []addr.PA{t.leafPA(r, v)})
+		w.buf.AddGroup(t.pmdPA(r, v))
+		w.buf.AddGroup(t.leafPA(r, v))
 	}
 	e, found := t.Lookup(v)
-	out.Entry, out.Found = e, found
-	return out
+	return w.buf.Outcome(e, found, mmu.StepCycles)
 }
 
 var _ mmu.Walker = (*Walker)(nil)

@@ -48,6 +48,9 @@ type Table struct {
 	slots    []pte.Tagged
 	used     int
 	unsorted bool
+	// clusterScratch backs LookupResult.Clusters: a result's Clusters view
+	// it and stay valid only until the table's next Lookup/LookupBinary.
+	clusterScratch []int
 }
 
 // New allocates a gapped table with capacity for at least nslots slots,
@@ -264,7 +267,9 @@ type LookupResult struct {
 	// including the first; single-access translation means Accesses == 1.
 	Accesses int
 	// Clusters lists the cluster indices fetched, in fetch order; the
-	// simulator turns these into physical cache-line addresses.
+	// simulator turns these into physical cache-line addresses. The slice
+	// views the table's reusable scratch and stays valid only until the
+	// table's next Lookup/LookupBinary.
 	Clusters []int
 	Found    bool
 }
@@ -275,7 +280,8 @@ type LookupResult struct {
 // bounded search of §4.3.3 with C_err = maxExtra.
 func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 	p := t.clamp(pred)
-	res := LookupResult{}
+	res := LookupResult{Clusters: t.clusterScratch[:0]}
+	defer func() { t.clusterScratch = res.Clusters }()
 	startCluster := ClusterOf(p)
 	lastCluster := ClusterOf(len(t.slots) - 1)
 
@@ -373,7 +379,8 @@ func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 // range against the pass target; a short linear sweep finishes. Cost is
 // O(log(slots)) cluster fetches, all counted.
 func (t *Table) LookupBinary(pred int, vpn addr.VPN) LookupResult {
-	res := LookupResult{}
+	res := LookupResult{Clusters: t.clusterScratch[:0]}
+	defer func() { t.clusterScratch = res.Clusters }()
 	if len(t.slots) == 0 {
 		return res
 	}

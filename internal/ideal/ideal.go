@@ -92,6 +92,9 @@ func (t *Table) Release() {
 // Walker implements mmu.Walker with exactly one memory request per walk.
 type Walker struct {
 	tables map[uint16]*Table
+	// buf is the reusable walk-trace buffer; Walk outcomes view it and
+	// stay valid until the next Walk.
+	buf mmu.WalkBuf
 }
 
 // NewWalker creates the walker.
@@ -122,14 +125,9 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 		return mmu.Outcome{}
 	}
 	e, found := t.Lookup(v)
-	out := mmu.Outcome{
-		Entry: e,
-		Found: found,
-		Groups: [][]addr.PA{{
-			t.entryPA(addr.AlignDown(v, e.Size()), e.Size()),
-		}},
-	}
-	return out
+	w.buf.Reset()
+	w.buf.AddGroup(t.entryPA(addr.AlignDown(v, e.Size()), e.Size()))
+	return w.buf.Outcome(e, found, 0)
 }
 
 var _ mmu.Walker = (*Walker)(nil)

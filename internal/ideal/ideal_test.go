@@ -64,9 +64,9 @@ func TestSequentialVPNsShareLines(t *testing.T) {
 	}
 	// 8 sequential VPNs × 8-byte entries = one 64-byte line.
 	line := func(pa addr.PA) uint64 { return uint64(pa) / 64 }
-	first := w.Walk(1, 0).Groups[0][0]
+	first := w.Walk(1, 0).Group(0)[0]
 	for i := 1; i < 8; i++ {
-		pa := w.Walk(1, addr.VPN(i)).Groups[0][0]
+		pa := w.Walk(1, addr.VPN(i)).Group(0)[0]
 		if line(pa) != line(first) {
 			t.Errorf("VPN %d entry on different line", i)
 		}
@@ -87,7 +87,7 @@ func TestHugePagesDenseSlots(t *testing.T) {
 	lines := map[uint64]bool{}
 	sets := map[uint64]bool{}
 	for i := 0; i < 2048; i++ {
-		pa := w.Walk(1, base+addr.VPN(i*512)+addr.VPN(i%512)).Groups[0][0]
+		pa := w.Walk(1, base+addr.VPN(i*512)+addr.VPN(i%512)).Group(0)[0]
 		lines[uint64(pa)/64] = true
 		sets[uint64(pa)/64%64] = true
 	}

@@ -6,6 +6,13 @@
 // simulator charges each request to the cache hierarchy; requests within a
 // group are issued in parallel (ECPT's probes), groups are sequential
 // (radix's pointer chase, LVM's node fetches).
+//
+// Walk traces are flat and allocation-free: each walker owns a reusable
+// WalkBuf holding the requests of the current walk as one []addr.PA plus
+// group boundaries, and Outcome is a read-only view into that buffer. The
+// view is valid until the walker's next Walk — the simulator consumes it
+// immediately, so the steady-state translate-then-access loop never touches
+// the heap.
 package mmu
 
 import (
@@ -15,45 +22,122 @@ import (
 	"lvm/internal/stats"
 )
 
-// Outcome is the trace of one hardware page walk.
+// Outcome is the trace of one hardware page walk. The request trace
+// (Group/AllRefs) aliases the walker's reusable buffer and is valid only
+// until that walker's next Walk; callers that need it longer must copy.
 type Outcome struct {
 	Entry pte.Entry
 	Found bool
-	// Groups holds the memory requests: groups are sequential, requests
-	// within one group are issued in parallel.
-	Groups [][]addr.PA
 	// WalkCacheCycles is the time spent in walk-cache lookups and model
 	// computation (2 cycles per step in Table 1).
 	WalkCacheCycles int
+
+	// pas holds every memory request of the walk, flattened in issue
+	// order; ends[i] is the index one past group i's last request. Groups
+	// are sequential, requests within one group are issued in parallel.
+	pas  []addr.PA
+	ends []int
 }
 
 // Refs returns the total number of memory requests — the page-walk-traffic
 // metric of Figure 11.
-func (o Outcome) Refs() int {
-	n := 0
-	for _, g := range o.Groups {
-		n += len(g)
+func (o Outcome) Refs() int { return len(o.pas) }
+
+// NumGroups returns the number of sequential request groups. Groups are
+// never empty by construction.
+func (o Outcome) NumGroups() int { return len(o.ends) }
+
+// Group returns the i-th group's requests as a read-only view into the
+// walker's buffer (capped so an append cannot clobber the neighbors).
+func (o Outcome) Group(i int) []addr.PA {
+	lo := 0
+	if i > 0 {
+		lo = o.ends[i-1]
 	}
-	return n
+	hi := o.ends[i]
+	return o.pas[lo:hi:hi]
 }
+
+// AllRefs returns every request of the walk in issue order, flattened
+// across groups — a read-only view into the walker's buffer.
+func (o Outcome) AllRefs() []addr.PA { return o.pas[:len(o.pas):len(o.pas)] }
 
 // Latency is a helper for tests: sequential sum over groups of the max of a
 // fixed per-request latency.
 func (o Outcome) Latency(perRef, walkCache int) int {
-	total := o.WalkCacheCycles * walkCache
-	for _, g := range o.Groups {
-		if len(g) > 0 {
-			total += perRef
-		}
+	// Every group carries at least one request, so each charges perRef.
+	return o.WalkCacheCycles*walkCache + len(o.ends)*perRef
+}
+
+// WalkBuf is the reusable walk-trace buffer a walker owns. A walk resets
+// it, appends request groups, and snapshots it into an Outcome; in steady
+// state (after the buffer has grown to the scheme's maximum trace length)
+// no call allocates. WalkBuf is not safe for concurrent use — a walker,
+// like the hardware it models, performs one walk at a time.
+type WalkBuf struct {
+	pas  []addr.PA
+	ends []int
+	// collapse folds every group into one (ASAP issues its prefetches and
+	// the validating radix walk as a single parallel burst).
+	collapse bool
+}
+
+// Reset clears the buffer for a new walk, retaining capacity.
+func (b *WalkBuf) Reset() {
+	b.pas = b.pas[:0]
+	b.ends = b.ends[:0]
+	b.collapse = false
+}
+
+// Collapse makes every subsequent group boundary fold into a single
+// parallel group, until the next Reset.
+func (b *WalkBuf) Collapse() { b.collapse = true }
+
+// closeGroup seals the requests appended since the last boundary into a
+// group. Empty groups are never recorded.
+func (b *WalkBuf) closeGroup() {
+	n := len(b.pas)
+	last := 0
+	if len(b.ends) > 0 {
+		last = b.ends[len(b.ends)-1]
 	}
-	return total
+	if n == last {
+		return
+	}
+	if b.collapse && len(b.ends) > 0 {
+		b.ends[len(b.ends)-1] = n
+		return
+	}
+	b.ends = append(b.ends, n)
+}
+
+// Group starts a new sequential group; requests Added afterwards belong to
+// it. A group left empty is dropped.
+func (b *WalkBuf) Group() { b.closeGroup() }
+
+// Add appends one request to the current group.
+func (b *WalkBuf) Add(pa addr.PA) { b.pas = append(b.pas, pa) }
+
+// AddGroup appends one sequential group of parallel requests. The variadic
+// slice does not escape, so constant-arity calls stay on the stack.
+func (b *WalkBuf) AddGroup(pas ...addr.PA) {
+	b.closeGroup()
+	b.pas = append(b.pas, pas...)
+}
+
+// Outcome seals the trace and returns the walk's read-only view, valid
+// until the buffer's next Reset.
+func (b *WalkBuf) Outcome(e pte.Entry, found bool, walkCacheCycles int) Outcome {
+	b.closeGroup()
+	return Outcome{Entry: e, Found: found, WalkCacheCycles: walkCacheCycles, pas: b.pas, ends: b.ends}
 }
 
 // Walker is a hardware page table walker.
 type Walker interface {
 	// Name identifies the scheme ("radix", "ecpt", "lvm", ...).
 	Name() string
-	// Walk translates v in address space asid.
+	// Walk translates v in address space asid. The returned Outcome's
+	// request trace is valid until the walker's next Walk.
 	Walk(asid uint16, v addr.VPN) Outcome
 }
 
@@ -61,40 +145,163 @@ type Walker interface {
 // (Table 1: 2 cycles for PWC, CWC and LWC).
 const StepCycles = 2
 
+// --- Shared LRU engine ------------------------------------------------------
+
+// lruNode is one recency slot: a key plus its intrusive list links. Slots
+// are slab-allocated up front; an invalidated slot stays in recency order
+// as a tombstone (exactly like the historical in-place valid=false mark)
+// until it ages out through the tail.
+type lruNode[K comparable] struct {
+	key        K
+	asid       uint16
+	valid      bool
+	prev, next int32
+}
+
+// lruCache is the map-backed fully associative LRU shared by the LWC and
+// PWC: O(1) lookup via the index map, O(1) recency update via the intrusive
+// list over a fixed slab. It reproduces the previous move-to-front slice
+// semantics exactly — including tombstoned slots occupying capacity until
+// evicted — while removing the linear probe from the walk hot path. None of
+// the steady-state operations allocate once the slab and map have reached
+// the fixed capacity.
+type lruCache[K comparable] struct {
+	nodes      []lruNode[K] // slab; len grows to capacity, then constant
+	index      map[K]int32  // valid entries only
+	head, tail int32        // recency list: head = MRU, tail = LRU
+	capacity   int
+}
+
+func newLRU[K comparable](capacity int) lruCache[K] {
+	return lruCache[K]{
+		nodes:    make([]lruNode[K], 0, max(capacity, 0)),
+		index:    make(map[K]int32, max(capacity, 0)),
+		head:     -1,
+		tail:     -1,
+		capacity: capacity,
+	}
+}
+
+func (c *lruCache[K]) unlink(i int32) {
+	n := c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *lruCache[K]) pushFront(i int32) {
+	c.nodes[i].prev = -1
+	c.nodes[i].next = c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+// lookup probes for a key; on hit the slot moves to MRU.
+func (c *lruCache[K]) lookup(key K) bool {
+	i, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	if i != c.head {
+		c.unlink(i)
+		c.pushFront(i)
+	}
+	return true
+}
+
+// insert places a key at MRU, consuming one recency slot exactly as the
+// historical shift-down did: below capacity the slab grows, at capacity the
+// tail slot — LRU entry or aged tombstone — is evicted and reused. A
+// duplicate insert tombstones the older copy first; observationally
+// identical to the old duplicate-in-slice behavior, where the newer copy
+// always sat closer to MRU (only it could hit) and the older one aged out
+// through the tail.
+func (c *lruCache[K]) insert(key K, asid uint16) {
+	if c.capacity <= 0 {
+		return
+	}
+	if old, ok := c.index[key]; ok {
+		c.nodes[old].valid = false
+		delete(c.index, key)
+	}
+	var i int32
+	if len(c.nodes) < c.capacity {
+		c.nodes = append(c.nodes, lruNode[K]{})
+		i = int32(len(c.nodes) - 1)
+	} else {
+		i = c.tail
+		c.unlink(i)
+		if c.nodes[i].valid {
+			delete(c.index, c.nodes[i].key)
+		}
+	}
+	c.nodes[i] = lruNode[K]{key: key, asid: asid, valid: true, prev: -1, next: -1}
+	c.pushFront(i)
+	c.index[key] = i
+}
+
+// invalidate tombstones one key: the slot keeps its recency position (it
+// still ages out through the tail) but can no longer hit.
+func (c *lruCache[K]) invalidate(key K) {
+	if i, ok := c.index[key]; ok {
+		c.nodes[i].valid = false
+		delete(c.index, key)
+	}
+}
+
+// flushASID tombstones every entry of one address space. This walks the
+// slab, not the map, so it stays deterministic; flushes are rare control
+// events (process exit, OS retrain), never on the walk path.
+func (c *lruCache[K]) flushASID(asid uint16) {
+	for i := range c.nodes {
+		if c.nodes[i].valid && c.nodes[i].asid == asid {
+			c.nodes[i].valid = false
+			delete(c.index, c.nodes[i].key)
+		}
+	}
+}
+
 // --- LVM walk cache -------------------------------------------------------
 
-// LWCEntry is one cached learned-index node (Fig. 8): the 16-byte model
-// plus its (ASID, level, offset) identity.
-type lwcEntry struct {
-	valid  bool
-	asid   uint16
-	level  int
-	offset int
+// lwcKey identifies one cached learned-index node (Fig. 8): the 16-byte
+// model's (ASID, level, offset) identity.
+type lwcKey struct {
+	asid          uint16
+	level, offset int
 }
 
 // LWC is LVM's fully associative walk cache. Per §4.6.2 it stores
 // individual models on demand, is ASID-tagged (no flush on context switch),
-// and is flushed per-entry only when the OS retrains a node.
+// and is flushed per-entry only when the OS retrains a node. Lookup and
+// Insert are O(1).
 type LWC struct {
-	entries []lwcEntry // most-recent-first
+	lru lruCache[lwcKey]
 
 	hits, misses stats.Counter
 }
 
 // NewLWC creates an LWC with the given entry count (Table 1: 16).
 func NewLWC(entries int) *LWC {
-	return &LWC{entries: make([]lwcEntry, 0, entries)}
+	return &LWC{lru: newLRU[lwcKey](entries)}
 }
 
 // Lookup probes for a node; on hit the entry moves to MRU.
 func (c *LWC) Lookup(asid uint16, level, offset int) bool {
-	for i, e := range c.entries {
-		if e.valid && e.asid == asid && e.level == level && e.offset == offset {
-			copy(c.entries[1:i+1], c.entries[:i])
-			c.entries[0] = e
-			c.hits.Inc()
-			return true
-		}
+	if c.lru.lookup(lwcKey{asid, level, offset}) {
+		c.hits.Inc()
+		return true
 	}
 	c.misses.Inc()
 	return false
@@ -102,32 +309,16 @@ func (c *LWC) Lookup(asid uint16, level, offset int) bool {
 
 // Insert caches a node fetched from memory, evicting the LRU entry.
 func (c *LWC) Insert(asid uint16, level, offset int) {
-	e := lwcEntry{valid: true, asid: asid, level: level, offset: offset}
-	if len(c.entries) < cap(c.entries) {
-		c.entries = append(c.entries, lwcEntry{})
-	}
-	copy(c.entries[1:], c.entries[:len(c.entries)-1])
-	c.entries[0] = e
+	c.lru.insert(lwcKey{asid, level, offset}, asid)
 }
 
 // FlushNode drops one node (the OS does this after retraining, §5.2).
 func (c *LWC) FlushNode(asid uint16, level, offset int) {
-	for i := range c.entries {
-		e := &c.entries[i]
-		if e.valid && e.asid == asid && e.level == level && e.offset == offset {
-			e.valid = false
-		}
-	}
+	c.lru.invalidate(lwcKey{asid, level, offset})
 }
 
 // FlushASID drops all nodes of one address space (used on index rebuild).
-func (c *LWC) FlushASID(asid uint16) {
-	for i := range c.entries {
-		if c.entries[i].asid == asid {
-			c.entries[i].valid = false
-		}
-	}
-}
+func (c *LWC) FlushASID(asid uint16) { c.lru.flushASID(asid) }
 
 // HitRate returns hits / lookups.
 func (c *LWC) HitRate() float64 {
@@ -142,7 +333,7 @@ func (c *LWC) Misses() uint64 { return c.misses.Value() }
 
 // SizeBytes returns the SRAM capacity implied by the configuration: 16
 // bytes of model per entry (plus tags, accounted in internal/hwarea).
-func (c *LWC) SizeBytes() int { return cap(c.entries) * 16 }
+func (c *LWC) SizeBytes() int { return c.lru.capacity * 16 }
 
 // Snapshot implements metrics.Source: the walk cache's hit/miss counters.
 func (c *LWC) Snapshot() metrics.Set {
@@ -156,36 +347,33 @@ var _ metrics.Source = (*LWC)(nil)
 
 // --- Radix page walk cache -------------------------------------------------
 
-// PWC is one level of a radix page walk cache: a fully associative cache of
-// upper-level entries keyed by the VPN prefix that indexes that level.
-type PWC struct {
-	name    string
-	entries []pwcEntry
-
-	hits, misses stats.Counter
-}
-
-type pwcEntry struct {
-	valid  bool
+// pwcKey is the (ASID, VPN-prefix) identity of one upper-level entry.
+type pwcKey struct {
 	asid   uint16
 	prefix uint64
+}
+
+// PWC is one level of a radix page walk cache: a fully associative cache of
+// upper-level entries keyed by the VPN prefix that indexes that level.
+// Lookup and Insert are O(1).
+type PWC struct {
+	name string
+	lru  lruCache[pwcKey]
+
+	hits, misses stats.Counter
 }
 
 // NewPWC creates one PWC level with the given capacity (Table 1: 32
 // entries per level, 3 levels).
 func NewPWC(name string, entries int) *PWC {
-	return &PWC{name: name, entries: make([]pwcEntry, 0, entries)}
+	return &PWC{name: name, lru: newLRU[pwcKey](entries)}
 }
 
 // Lookup probes for the upper-level entry covering the VPN prefix.
 func (c *PWC) Lookup(asid uint16, prefix uint64) bool {
-	for i, e := range c.entries {
-		if e.valid && e.asid == asid && e.prefix == prefix {
-			copy(c.entries[1:i+1], c.entries[:i])
-			c.entries[0] = e
-			c.hits.Inc()
-			return true
-		}
+	if c.lru.lookup(pwcKey{asid, prefix}) {
+		c.hits.Inc()
+		return true
 	}
 	c.misses.Inc()
 	return false
@@ -193,32 +381,16 @@ func (c *PWC) Lookup(asid uint16, prefix uint64) bool {
 
 // Insert caches an upper-level entry.
 func (c *PWC) Insert(asid uint16, prefix uint64) {
-	e := pwcEntry{valid: true, asid: asid, prefix: prefix}
-	if len(c.entries) < cap(c.entries) {
-		c.entries = append(c.entries, pwcEntry{})
-	}
-	copy(c.entries[1:], c.entries[:len(c.entries)-1])
-	c.entries[0] = e
+	c.lru.insert(pwcKey{asid, prefix}, asid)
 }
 
 // Invalidate drops one prefix (on unmap of upper-level structures).
 func (c *PWC) Invalidate(asid uint16, prefix uint64) {
-	for i := range c.entries {
-		e := &c.entries[i]
-		if e.valid && e.asid == asid && e.prefix == prefix {
-			e.valid = false
-		}
-	}
+	c.lru.invalidate(pwcKey{asid, prefix})
 }
 
 // FlushASID drops all entries of one address space (process exit).
-func (c *PWC) FlushASID(asid uint16) {
-	for i := range c.entries {
-		if c.entries[i].asid == asid {
-			c.entries[i].valid = false
-		}
-	}
-}
+func (c *PWC) FlushASID(asid uint16) { c.lru.flushASID(asid) }
 
 // HitRate returns hits / lookups.
 func (c *PWC) HitRate() float64 {

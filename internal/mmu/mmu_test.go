@@ -7,9 +7,103 @@ import (
 )
 
 func TestOutcomeRefs(t *testing.T) {
-	o := Outcome{Groups: [][]addr.PA{{1}, {2, 3, 4}}}
+	var b WalkBuf
+	b.AddGroup(1)
+	b.AddGroup(2, 3, 4)
+	o := b.Outcome(0, false, 0)
 	if o.Refs() != 4 {
 		t.Errorf("refs = %d", o.Refs())
+	}
+	if o.NumGroups() != 2 {
+		t.Errorf("groups = %d", o.NumGroups())
+	}
+	if g := o.Group(1); len(g) != 3 || g[0] != 2 || g[2] != 4 {
+		t.Errorf("group 1 = %v", g)
+	}
+	if all := o.AllRefs(); len(all) != 4 || all[0] != addr.PA(1) {
+		t.Errorf("all refs = %v", all)
+	}
+}
+
+// TestWalkBufGoldenTraces replays golden walk traces through WalkBuf and
+// checks the flat representation reproduces the old grouped semantics
+// ([][]addr.PA) exactly: group count, group membership, ref count, and the
+// latency formula over groups.
+func TestWalkBufGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func(b *WalkBuf)
+		groups   [][]addr.PA
+		collapse bool
+	}{
+		{"empty", func(b *WalkBuf) {}, nil, false},
+		{"radix-cold", func(b *WalkBuf) {
+			for _, pa := range []addr.PA{0x1000, 0x2000, 0x3000, 0x4000} {
+				b.AddGroup(pa)
+			}
+		}, [][]addr.PA{{0x1000}, {0x2000}, {0x3000}, {0x4000}}, false},
+		{"ecpt-warm", func(b *WalkBuf) {
+			b.Group()
+			b.Add(0x10)
+			b.Add(0x20)
+			b.Add(0x30)
+		}, [][]addr.PA{{0x10, 0x20, 0x30}}, false},
+		{"ecpt-cold", func(b *WalkBuf) {
+			b.AddGroup(0x99) // CWT fetch
+			b.Group()
+			b.Add(0x10)
+			b.Add(0x20)
+		}, [][]addr.PA{{0x99}, {0x10, 0x20}}, false},
+		{"empty-group-dropped", func(b *WalkBuf) {
+			b.Group()
+			b.Group()
+			b.AddGroup(0x40)
+		}, [][]addr.PA{{0x40}}, false},
+		{"asap-collapsed", func(b *WalkBuf) {
+			b.Collapse()
+			b.Add(0x1) // prefetch PT
+			b.Add(0x2) // prefetch PMD
+			// radix walk composed in: each AddGroup folds into the burst
+			b.AddGroup(0x3)
+			b.AddGroup(0x4)
+		}, [][]addr.PA{{0x1, 0x2, 0x3, 0x4}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b WalkBuf
+			// Exercise reuse: dirty the buffer, then Reset must restore a
+			// clean trace.
+			b.AddGroup(0xdead, 0xbeef)
+			b.Reset()
+			tc.build(&b)
+			o := b.Outcome(0, true, 3)
+
+			wantRefs := 0
+			for _, g := range tc.groups {
+				wantRefs += len(g)
+			}
+			if o.Refs() != wantRefs {
+				t.Errorf("refs = %d, want %d", o.Refs(), wantRefs)
+			}
+			if o.NumGroups() != len(tc.groups) {
+				t.Fatalf("groups = %d, want %d", o.NumGroups(), len(tc.groups))
+			}
+			for gi, want := range tc.groups {
+				got := o.Group(gi)
+				if len(got) != len(want) {
+					t.Fatalf("group %d = %v, want %v", gi, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("group %d[%d] = %#x, want %#x", gi, i, got[i], want[i])
+					}
+				}
+			}
+			// Old latency semantics: WalkCacheCycles·walkCache + groups·perRef.
+			if got, want := o.Latency(10, 2), 3*2+len(tc.groups)*10; got != want {
+				t.Errorf("latency = %d, want %d", got, want)
+			}
+		})
 	}
 }
 

@@ -164,6 +164,9 @@ type Walker struct {
 	// pml4e caches root entries (prefix v>>27), pdpte caches level-3
 	// entries (v>>18), pde caches level-2 entries (v>>9).
 	pml4e, pdpte, pde *mmu.PWC
+	// buf is the reusable walk-trace buffer; Walk outcomes view it and
+	// stay valid until the next Walk.
+	buf mmu.WalkBuf
 }
 
 // NewWalker creates a walker over per-ASID tables with Table-1 PWC sizing
@@ -209,25 +212,35 @@ func (w *Walker) Snapshot() metrics.Set {
 var _ metrics.Source = (*Walker)(nil)
 
 // Walk implements mmu.Walker: probe the PWC deepest-first, then chase the
-// remaining pointers sequentially.
+// remaining pointers sequentially. The outcome views the walker's reusable
+// buffer and is valid until the next Walk.
 func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	w.buf.Reset()
+	return w.WalkInto(&w.buf, asid, v)
+}
+
+// WalkInto runs the walk appending its request groups to b, which the
+// caller has prepared (ASAP seeds b with its prefetch requests and a
+// collapsed group so the validating radix walk lands in the same parallel
+// burst, composing the trace without an intermediate copy). The returned
+// Outcome views b.
+func (w *Walker) WalkInto(b *mmu.WalkBuf, asid uint16, v addr.VPN) mmu.Outcome {
 	t, ok := w.tables[asid]
 	if !ok {
 		return mmu.Outcome{}
 	}
-	out := mmu.Outcome{}
 
 	// Deepest-first PWC probe; each level probed costs StepCycles (2
 	// cycles, Table 1), symmetric with LVM's per-node model computation.
 	// A pde hit skips PGD/PUD/PMD fetches, a pdpte hit skips PGD/PUD, a
 	// pml4e hit skips PGD.
 	startLevel := addr.RadixLevels
-	out.WalkCacheCycles = mmu.StepCycles
+	wcc := mmu.StepCycles
 	if w.pde.Lookup(asid, uint64(v)>>9) {
 		startLevel = 1
-	} else if out.WalkCacheCycles += mmu.StepCycles; w.pdpte.Lookup(asid, uint64(v)>>18) {
+	} else if wcc += mmu.StepCycles; w.pdpte.Lookup(asid, uint64(v)>>18) {
 		startLevel = 2
-	} else if out.WalkCacheCycles += mmu.StepCycles; w.pml4e.Lookup(asid, uint64(v)>>27) {
+	} else if wcc += mmu.StepCycles; w.pml4e.Lookup(asid, uint64(v)>>27) {
 		startLevel = 3
 	}
 
@@ -239,12 +252,11 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 		if e := n.leaves[idx]; e.Present() {
 			// A huge leaf above the PWC-covered level: the PWC would not
 			// have cached past it; treat as found with one fetch.
-			out.Groups = append(out.Groups, []addr.PA{n.entryPA(idx)})
-			out.Entry, out.Found = e, true
-			return out
+			b.AddGroup(n.entryPA(idx))
+			return b.Outcome(e, true, wcc)
 		}
 		if n.children[idx] == nil {
-			return out
+			return b.Outcome(0, false, wcc)
 		}
 		n = n.children[idx]
 	}
@@ -252,19 +264,18 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	// Fetch the remaining levels sequentially.
 	for level := startLevel; level >= 1; level-- {
 		idx := addr.RadixIndex(v, level)
-		out.Groups = append(out.Groups, []addr.PA{n.entryPA(idx)})
+		b.AddGroup(n.entryPA(idx))
 		if e := n.leaves[idx]; e.Present() {
-			out.Entry, out.Found = e, true
 			w.fill(asid, v, level)
-			return out
+			return b.Outcome(e, true, wcc)
 		}
 		if level == 1 || n.children[idx] == nil {
 			// Not mapped.
-			return out
+			return b.Outcome(0, false, wcc)
 		}
 		n = n.children[idx]
 	}
-	return out
+	return b.Outcome(0, false, wcc)
 }
 
 // fill populates the PWC levels traversed down to (but not including) the

@@ -91,8 +91,8 @@ func TestWalkerSequentialAccesses(t *testing.T) {
 	if out.Refs() != 4 {
 		t.Errorf("cold radix walk made %d refs, want 4", out.Refs())
 	}
-	for _, g := range out.Groups {
-		if len(g) != 1 {
+	for gi := 0; gi < out.NumGroups(); gi++ {
+		if len(out.Group(gi)) != 1 {
 			t.Error("radix requests must be sequential (groups of 1)")
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"lvm/internal/dram"
 	"lvm/internal/metrics"
 	"lvm/internal/mmu"
+	"lvm/internal/pte"
 	"lvm/internal/stats"
 	"lvm/internal/tlb"
 	"lvm/internal/workload"
@@ -171,12 +172,13 @@ func (c *CPU) Caches() *cache.Hierarchy { return c.caches }
 
 // walkLatency charges a walk's memory requests to the cache hierarchy:
 // groups are sequential, requests within a group run in parallel (their
-// latency is the max).
+// latency is the max). The outcome's trace is a view into the walker's
+// buffer, consumed here before the next walk can reset it.
 func (c *CPU) walkLatency(out mmu.Outcome) float64 {
 	lat := float64(out.WalkCacheCycles)
-	for _, g := range out.Groups {
+	for gi, groups := 0, out.NumGroups(); gi < groups; gi++ {
 		groupMax := 0
-		for _, pa := range g {
+		for _, pa := range out.Group(gi) {
 			if l := c.caches.Access(pa, true); l > groupMax {
 				groupMax = l
 			}
@@ -184,6 +186,39 @@ func (c *CPU) walkLatency(out mmu.Outcome) float64 {
 		lat += float64(groupMax)
 	}
 	return lat
+}
+
+// translate charges the TLB lookup and, on an L2 TLB miss, the hardware
+// page walk — the translation accounting shared by step and stepMidgard.
+// Cycle components accrue onto res and *lat in arrival order (so latency
+// sums stay bit-identical wherever they are accumulated); it returns the
+// translation and whether the access faulted on an unmapped page.
+func (c *CPU) translate(asid uint16, v addr.VPN, res *Result, lat *float64) (pte.Entry, bool) {
+	tr, hit := c.tlbs.Lookup(asid, v)
+	res.TLBCycles += float64(tr.Latency)
+	res.Cycles += float64(tr.Latency)
+	*lat += float64(tr.Latency)
+	entry := tr.Entry
+	if !hit {
+		res.L2TLBMisses++
+		out := c.walker.Walk(asid, v)
+		res.Walks++
+		res.WalkRefs += uint64(out.Refs())
+		wlat := c.walkLatency(out)
+		res.WalkCycles += wlat
+		res.Cycles += wlat
+		*lat += wlat
+		if !out.Found {
+			res.Faults++
+			return 0, true
+		}
+		entry = out.Entry
+		c.tlbs.Fill(asid, v, entry)
+	}
+	if !tr.HitL1 {
+		res.L1TLBMisses++
+	}
+	return entry, false
 }
 
 // Run simulates a trace for one process (ASID) and returns the metrics.
@@ -222,8 +257,9 @@ func (c *CPU) run(asid uint16, w *workload.Workload, hook func(i int) float64, o
 func (c *CPU) step(asid uint16, a workload.Access, instrs int, extra float64, res *Result) float64 {
 	res.Instructions += uint64(instrs)
 	res.Accesses++
-	lat := float64(instrs)/c.cfg.IssueWidth + extra
-	res.Cycles += float64(instrs) / c.cfg.IssueWidth
+	retire := float64(instrs) / c.cfg.IssueWidth
+	lat := retire + extra
+	res.Cycles += retire
 	res.Cycles += extra
 
 	v := addr.VPNOf(a.VA)
@@ -232,31 +268,10 @@ func (c *CPU) step(asid uint16, a workload.Access, instrs int, extra float64, re
 		return lat + c.stepMidgard(asid, a, v, res)
 	}
 
-	// 1. TLB.
-	tr, hit := c.tlbs.Lookup(asid, v)
-	res.TLBCycles += float64(tr.Latency)
-	res.Cycles += float64(tr.Latency)
-	lat += float64(tr.Latency)
-	entry := tr.Entry
-	if !hit {
-		res.L2TLBMisses++
-		// 2. Page walk.
-		out := c.walker.Walk(asid, v)
-		res.Walks++
-		res.WalkRefs += uint64(out.Refs())
-		wlat := c.walkLatency(out)
-		res.WalkCycles += wlat
-		res.Cycles += wlat
-		lat += wlat
-		if !out.Found {
-			res.Faults++
-			return lat
-		}
-		entry = out.Entry
-		c.tlbs.Fill(asid, v, entry)
-	}
-	if !tr.HitL1 {
-		res.L1TLBMisses++
+	// 1. TLB, and on an L2 TLB miss 2. the page walk.
+	entry, fault := c.translate(asid, v, res, &lat)
+	if fault {
+		return lat
 	}
 
 	// 3. Data access.
@@ -282,28 +297,7 @@ func (c *CPU) stepMidgard(asid uint16, a workload.Access, v addr.VPN, res *Resul
 		return lat
 	}
 	// LLC miss: translate to reach memory (backside radix walk).
-	tr, hit := c.tlbs.Lookup(asid, v)
-	res.TLBCycles += float64(tr.Latency)
-	res.Cycles += float64(tr.Latency)
-	lat += float64(tr.Latency)
-	if !hit {
-		res.L2TLBMisses++
-		out := c.walker.Walk(asid, v)
-		res.Walks++
-		res.WalkRefs += uint64(out.Refs())
-		wlat := c.walkLatency(out)
-		res.WalkCycles += wlat
-		res.Cycles += wlat
-		lat += wlat
-		if !out.Found {
-			res.Faults++
-			return lat
-		}
-		c.tlbs.Fill(asid, v, out.Entry)
-	}
-	if !tr.HitL1 {
-		res.L1TLBMisses++
-	}
+	c.translate(asid, v, res, &lat)
 	return lat
 }
 

@@ -58,7 +58,7 @@ func buildGraph(name string, p Params) *Workload {
 		propB:   ar.alloc(uint64(g.V) * propStride),
 	}
 
-	tr := &tracer{max: p.TraceLen}
+	tr := &tracer{out: make([]Access, 0, p.TraceLen), max: p.TraceLen}
 	rng := rngFor(p, int64(len(name)))
 	switch name {
 	case "bfs":
