@@ -14,14 +14,25 @@
 //	lvmbench -quick       # reduced scale (seconds)
 //	lvmbench -only fig9,table2
 //	lvmbench -j 8 -mem 64 # 8 workers under a 64 GiB simulated-memory budget
-//	lvmbench -list        # print the plan (experiments + run matrix), no execution
+//	lvmbench -list        # print the plan (experiments + run matrix + costs), no execution
 //	lvmbench -quick -json out.json            # also write per-run metrics JSON
 //	lvmbench -quick -json out.json -timings   # include host wall-clock fields
 //	lvmbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //
+// Scale-out sweeps split the execute phase across hosts and skip repeated
+// work (see EXPERIMENTS.md "Sharding and caching sweeps"):
+//
+//	lvmbench -shard 0/2 -json part0.json      # this host's partition only
+//	lvmbench -shard 1/2 -json part1.json      # another host's partition
+//	lvmbench -merge part0.json,part1.json     # recombine: tables + optional -json
+//	lvmbench -cache ~/.cache/lvmbench         # persist run outputs; warm reruns skip sims
+//	lvmbench -shard 0/2 -list                 # show the cost-balanced assignment
+//
 // The -json document is schema-versioned and byte-identical at any -j
 // (unless -timings adds the machine-dependent host_seconds fields); CI
 // diffs it against the committed bench_baseline.json with cmd/benchgate.
+// A merged document is byte-identical to an unsharded run's, and a warm
+// -cache sweep re-simulates nothing while emitting identical bytes.
 //
 // The -cpuprofile/-memprofile flags capture pprof profiles of the whole
 // sweep (see EXPERIMENTS.md "Profiling the hot path" for the workflow).
@@ -45,9 +56,12 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork")
 	workers := flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
 	memGiB := flag.Uint64("mem", 0, "memory budget in GiB bounding the summed simulated footprint of in-flight runs (0 = default 32)")
-	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix, then exit without executing")
-	jsonPath := flag.String("json", "", "write per-run metrics as schema-versioned JSON to this path")
+	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix with estimated costs, then exit without executing")
+	jsonPath := flag.String("json", "", "write per-run metrics as schema-versioned JSON to this path (with -shard: the partial shard document)")
 	timings := flag.Bool("timings", false, "include host wall-clock fields in -json output (breaks byte-identity across invocations)")
+	shard := flag.String("shard", "", "execute only shard i/n of the run matrix (deterministic cost-balanced partition) and write a partial document to -json")
+	merge := flag.String("merge", "", "comma-separated shard documents to recombine; computes tables exactly as an unsharded run would")
+	cacheDir := flag.String("cache", "", "persistent run-output cache directory; completed runs are stored there and warm sweeps skip their simulations")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the sweep to this path")
 	flag.Parse()
@@ -84,14 +98,25 @@ func main() {
 		}
 	}()
 
+	jExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			jExplicit = true
+		}
+	})
+
 	if err := run(options{
-		quick:    *quick,
-		only:     *only,
-		workers:  *workers,
-		memGiB:   *memGiB,
-		list:     *list,
-		jsonPath: *jsonPath,
-		timings:  *timings,
+		quick:     *quick,
+		only:      *only,
+		workers:   *workers,
+		jExplicit: jExplicit,
+		memGiB:    *memGiB,
+		list:      *list,
+		jsonPath:  *jsonPath,
+		timings:   *timings,
+		shard:     *shard,
+		merge:     *merge,
+		cacheDir:  *cacheDir,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "lvmbench: %v\n", err)
 		os.Exit(1)
@@ -99,16 +124,30 @@ func main() {
 }
 
 type options struct {
-	quick    bool
-	only     string
-	workers  int
-	memGiB   uint64
-	list     bool
-	jsonPath string
-	timings  bool
+	quick     bool
+	only      string
+	workers   int
+	jExplicit bool
+	memGiB    uint64
+	list      bool
+	jsonPath  string
+	timings   bool
+	shard     string
+	merge     string
+	cacheDir  string
 }
 
 func run(o options) error {
+	if o.merge != "" {
+		if o.shard != "" {
+			return fmt.Errorf("-merge and -shard are mutually exclusive: shards execute, merge recombines")
+		}
+		if o.list {
+			return fmt.Errorf("-merge and -list are mutually exclusive")
+		}
+		return runMerge(o)
+	}
+
 	cfg := experiments.Default()
 	if o.quick {
 		cfg = experiments.Quick()
@@ -127,13 +166,87 @@ func run(o options) error {
 	r.SetSink(experiments.NewWriterSink(os.Stderr))
 	plan := experiments.NewPlan(cfg, exps)
 
+	var spec experiments.ShardSpec
+	if o.shard != "" {
+		spec, err = experiments.ParseShard(o.shard)
+		if err != nil {
+			return err
+		}
+	}
+
 	if o.list {
-		printPlan(plan)
+		return printPlan(r, plan, o, spec)
+	}
+
+	opt := experiments.ExecOptions{
+		Workers:        o.workers,
+		MemBudgetBytes: o.memGiB << 30,
+		Shard:          spec,
+	}
+	if o.cacheDir != "" {
+		opt.Cache, err = experiments.NewRunCache(o.cacheDir, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	if o.shard != "" {
+		if o.jsonPath == "" {
+			return fmt.Errorf("-shard requires -json: the partial document is the shard's only output")
+		}
+		fmt.Fprintf(os.Stderr, "plan: %d experiments, %d deduped runs, shard %s, %d workers\n",
+			len(plan.Experiments), len(plan.Runs), spec, o.workers)
+		if err := r.ExecuteRuns(plan, opt); err != nil {
+			return err
+		}
+		b, err := r.ShardJSON(plan, keys, spec, experiments.RunJSONOptions{Timings: o.timings})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, b, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", o.jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote shard %s to %s\n", spec, o.jsonPath)
 		return nil
 	}
 
 	fmt.Fprintf(os.Stderr, "plan: %d experiments, %d deduped runs, %d workers\n",
 		len(plan.Experiments), len(plan.Runs), o.workers)
+
+	results, err := r.ExecutePlan(plan, opt)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Print(res.Render())
+	}
+
+	return writeRunsJSON(r, plan, o)
+}
+
+// runMerge recombines shard documents, computes every table over the
+// merged run matrix (nothing re-executes: the documents carry all runs),
+// and optionally re-emits the unsharded-identical -json document.
+func runMerge(o options) error {
+	var files []experiments.ShardFile
+	for _, name := range strings.Split(o.merge, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("merge: reading %s: %w", name, err)
+		}
+		files = append(files, experiments.ShardFile{Name: name, Data: b})
+	}
+	r, plan, err := experiments.MergeShards(files)
+	if err != nil {
+		return err
+	}
+	r.SetSink(experiments.NewWriterSink(os.Stderr))
+	fmt.Fprintf(os.Stderr, "merged %d shard(s): %d experiments, %d runs\n",
+		len(files), len(plan.Experiments), len(plan.Runs))
 
 	results, err := r.ExecutePlan(plan, experiments.ExecOptions{
 		Workers:        o.workers,
@@ -146,29 +259,79 @@ func run(o options) error {
 		fmt.Print(res.Render())
 	}
 
-	if o.jsonPath != "" {
-		b, err := r.RunsJSON(plan, experiments.RunJSONOptions{Timings: o.timings})
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(o.jsonPath, b, 0o644); err != nil {
-			return fmt.Errorf("writing %s: %w", o.jsonPath, err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", len(plan.Runs), o.jsonPath)
+	return writeRunsJSON(r, plan, o)
+}
+
+func writeRunsJSON(r *experiments.Runner, plan experiments.Plan, o options) error {
+	if o.jsonPath == "" {
+		return nil
 	}
+	b, err := r.RunsJSON(plan, experiments.RunJSONOptions{Timings: o.timings})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.jsonPath, b, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", o.jsonPath, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d runs to %s\n", len(plan.Runs), o.jsonPath)
 	return nil
 }
 
-// printPlan renders the plan phase without executing it: the selected
-// experiments in registry order and the deduped run matrix in plan
-// (first-appearance) order — exactly what ExecutePlan would simulate.
-func printPlan(p experiments.Plan) {
+// printPlan renders the plan phase without executing or building anything:
+// the selected experiments in registry order and the deduped run matrix in
+// plan (first-appearance) order with each run's estimated scheduler cost.
+// Under -shard i/n the cost-balanced shard assignment is shown per run
+// (with this shard's rows marked); otherwise an explicit -j previews how
+// the LPT partition would spread the matrix across that many bins.
+func printPlan(r *experiments.Runner, p experiments.Plan, o options, spec experiments.ShardSpec) error {
 	fmt.Printf("experiments (%d):\n", len(p.Experiments))
 	for _, e := range p.Experiments {
 		fmt.Printf("  %-14s %s\n", e.Key, e.Title)
 	}
-	fmt.Printf("runs (%d deduped):\n", len(p.Runs))
-	for _, k := range p.Runs {
-		fmt.Printf("  %s\n", k)
+
+	costs, err := r.EstimateCosts(p)
+	if err != nil {
+		return err
 	}
+	bins := 0
+	label := ""
+	switch {
+	case o.shard != "":
+		bins, label = spec.Count, "shard"
+	case o.jExplicit && o.workers > 1:
+		bins, label = o.workers, "worker"
+	}
+	var assign []int
+	if bins > 1 {
+		assign = experiments.AssignShards(costs, bins)
+	}
+
+	fmt.Printf("runs (%d deduped):\n", len(p.Runs))
+	for i, k := range p.Runs {
+		line := fmt.Sprintf("  %-28s %8.2f GiB", k.String(), float64(costs[i])/(1<<30))
+		if assign != nil {
+			line += fmt.Sprintf("  %s %d", label, assign[i])
+			if o.shard != "" && assign[i] == spec.Index {
+				line += "  *"
+			}
+		}
+		fmt.Println(line)
+	}
+	if assign != nil {
+		loads := make([]uint64, bins)
+		counts := make([]int, bins)
+		for i, s := range assign {
+			loads[s] += costs[i]
+			counts[s]++
+		}
+		fmt.Printf("%s totals:\n", label)
+		for s := 0; s < bins; s++ {
+			mark := ""
+			if o.shard != "" && s == spec.Index {
+				mark = "  * (this shard)"
+			}
+			fmt.Printf("  %s %d: %d runs, %8.2f GiB%s\n", label, s, counts[s], float64(loads[s])/(1<<30), mark)
+		}
+	}
+	return nil
 }

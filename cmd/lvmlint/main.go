@@ -42,6 +42,7 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and exit")
+	nocache := flag.Bool("nocache", false, "skip the result cache and always type-check from source")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: lvmlint [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
@@ -62,20 +63,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lvmlint:", err)
 		os.Exit(2)
 	}
+
+	// The diagnostics are a pure function of (toolchain, suite, module
+	// source, patterns): replay a previously recorded run when nothing has
+	// changed, skipping the multi-second from-source type check. The cache
+	// is transparent — any problem computing the key or reading the entry
+	// falls back to a full run, and a full run records its result best
+	// effort.
+	cacheDir, cacheKey := "", ""
+	if !*nocache {
+		if dir, err := lint.DefaultCacheDir(); err == nil {
+			if key, err := lint.CacheKey(loader.ModRoot(), flag.Args()); err == nil {
+				cacheDir, cacheKey = dir, key
+				if diags, ok := lint.LoadCachedResult(dir, key); ok {
+					exitWithDiagnostics(diags)
+				}
+			}
+		}
+	}
+
 	pkgs, err := loader.Load(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lvmlint:", err)
 		os.Exit(2)
 	}
-	found := 0
+	var diags []string
 	for _, pkg := range pkgs {
 		for _, d := range lint.Run(pkg, lint.Analyzers()) {
-			fmt.Println(d)
-			found++
+			diags = append(diags, d.String())
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "lvmlint: %d violation(s)\n", found)
+	if cacheKey != "" {
+		// Best effort: an unwritable cache must not fail the lint run.
+		_ = lint.StoreCachedResult(cacheDir, cacheKey, diags)
+	}
+	exitWithDiagnostics(diags)
+}
+
+// exitWithDiagnostics prints the diagnostics exactly as a full run would
+// and exits 1 when there are any — cached and fresh runs are observably
+// identical apart from wall-clock time.
+func exitWithDiagnostics(diags []string) {
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lvmlint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+	os.Exit(0)
 }

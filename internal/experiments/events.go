@@ -19,6 +19,9 @@ type Sink interface {
 	RunStart(key RunKey)
 	// RunDone fires when a simulation finishes (err is nil on success).
 	RunDone(key RunKey, hostSeconds float64, err error)
+	// RunCached fires when a run is satisfied from the persistent run
+	// cache instead of simulating. RunStart/RunDone do not fire for it.
+	RunCached(key RunKey)
 	// ExperimentStart fires before an experiment's compute phase.
 	ExperimentStart(key, title string)
 	// ExperimentDone fires after an experiment's compute phase.
@@ -38,6 +41,7 @@ type NopSink struct{}
 
 func (NopSink) RunStart(RunKey)                       {}
 func (NopSink) RunDone(RunKey, float64, error)        {}
+func (NopSink) RunCached(RunKey)                      {}
 func (NopSink) ExperimentStart(string, string)        {}
 func (NopSink) ExperimentDone(string, float64, error) {}
 
@@ -69,6 +73,10 @@ func (s *WriterSink) RunDone(key RunKey, sec float64, err error) {
 		return
 	}
 	s.printf("  done    %s in %.1fs", key, sec)
+}
+
+func (s *WriterSink) RunCached(key RunKey) {
+	s.printf("  cached  %s", key)
 }
 
 func (s *WriterSink) RunHostMem(key RunKey, m sched.MemSample) {

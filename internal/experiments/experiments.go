@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 
+	"lvm/internal/experiments/sched"
 	"lvm/internal/oskernel"
 	"lvm/internal/phys"
 	"lvm/internal/sim"
@@ -165,10 +166,74 @@ func (r *Runner) Workload(name string) (*workload.Workload, error) {
 // the scheduler's memory-budget cost for the run: admission is bounded by
 // the summed simulated footprint of in-flight simulations.
 func (r *Runner) runBytes(w *workload.Workload) uint64 {
+	return r.costFromFootprint(w.FootprintBytes())
+}
+
+// costFromFootprint is the shared footprint→physical-memory formula behind
+// both runBytes (built workloads) and EstimateCosts (estimated footprints);
+// keeping them one function is what makes shard assignment agree between
+// hosts that build a workload and hosts that only estimate it.
+func (r *Runner) costFromFootprint(fp uint64) uint64 {
 	if r.Cfg.PhysBytes != 0 {
 		return r.Cfg.PhysBytes
 	}
-	return w.FootprintBytes() + w.FootprintBytes()/2 + r.Cfg.PhysSlackBytes
+	return fp + fp/2 + r.Cfg.PhysSlackBytes
+}
+
+// BuildWorkloads builds the named workloads that are not already cached,
+// in parallel on the scheduler's worker pool. Results are registered in
+// first-appearance order regardless of which build finished when, so the
+// runner's observable state never depends on scheduling; build failures
+// come back wrapped, naming the workload.
+func (r *Runner) BuildWorkloads(names []string, workers int) error {
+	var missing []string
+	r.mu.Lock()
+	for _, n := range names {
+		if _, ok := r.wls[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	r.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	tasks := make([]sched.Task[string], len(missing))
+	for i, n := range missing {
+		tasks[i] = sched.Task[string]{Key: n}
+	}
+	outs, err := sched.Run(tasks, sched.Options{Workers: workers}, func(name string) (*workload.Workload, error) {
+		w, err := workload.Build(name, r.Cfg.Params)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", name, err)
+		}
+		return w, nil
+	})
+	r.mu.Lock()
+	for i, n := range missing {
+		if outs[i] != nil {
+			r.wls[n] = outs[i]
+		}
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+// installRun stores a completed (or cache-restored) output under its key.
+func (r *Runner) installRun(key RunKey, out *RunOutput) {
+	r.mu.Lock()
+	r.runs[key] = out
+	r.mu.Unlock()
+}
+
+// lookupRun returns the cached output for key, if present.
+func (r *Runner) lookupRun(key RunKey) (*RunOutput, bool) {
+	r.mu.Lock()
+	out, ok := r.runs[key]
+	r.mu.Unlock()
+	return out, ok
 }
 
 // physFor sizes simulated physical memory for a workload.

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ShardJSON serializes this host's partition of the plan as a partial run
+// document: the v2 header (fingerprint, shard position, config, experiment
+// keys, full plan) plus one entry per owned run carrying both the flat
+// metrics and the lossless output payload. The document is self-describing
+// — MergeShards needs no flags to recombine a set of them — and, like
+// RunsJSON, byte-identical across invocations unless opt.Timings adds
+// host_seconds.
+func (r *Runner) ShardJSON(p Plan, expKeys []string, spec ShardSpec, opt RunJSONOptions) ([]byte, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	fp, err := r.Cfg.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	assign, err := r.AssignPlan(p, spec.Count)
+	if err != nil {
+		return nil, err
+	}
+	doc := runsDoc{
+		SchemaVersion: RunJSONSchemaVersion,
+		Fingerprint:   fp,
+		Shard:         &shardDoc{Index: spec.Index, Count: spec.Count},
+		Config:        &r.Cfg,
+		Experiments:   expKeys,
+		Plan:          make([]keyDoc, 0, len(p.Runs)),
+	}
+	for i, k := range p.Runs {
+		doc.Plan = append(doc.Plan, keyToDoc(k))
+		if assign[i] != spec.Index {
+			continue
+		}
+		out, ok := r.lookupRun(k)
+		if !ok {
+			return nil, fmt.Errorf("experiments: ShardJSON: run %s not executed", k)
+		}
+		d := flatRunDoc(k, out, opt.Timings)
+		od := encodeRunOutput(out)
+		d.Output = &od
+		doc.Runs = append(doc.Runs, d)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ShardJSON: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// A ShardFile is one partial document handed to MergeShards, tagged with
+// the name (usually the path) used in error messages.
+type ShardFile struct {
+	Name string
+	Data []byte
+}
+
+// MergeShards recombines a complete set of shard documents into a runner
+// holding every plan run, plus the reconstructed plan, so the caller can
+// compute tables (ExecutePlan finds nothing left to execute) and emit
+// RunsJSON byte-identically to an unsharded sweep.
+//
+// Every way the set can be wrong is a distinct wrapped error naming the
+// offending file and/or RunKey — schema or fingerprint mismatch, plan or
+// experiment divergence, duplicate or missing shard index, duplicate or
+// missing RunKey, a run outside the plan, a missing or undecodable output
+// payload — never a silently wrong table.
+func MergeShards(files []ShardFile) (*Runner, Plan, error) {
+	if len(files) == 0 {
+		return nil, Plan{}, fmt.Errorf("experiments: merge: no shard files")
+	}
+
+	var (
+		ref      runsDoc // header of the first document, the reference
+		refFile  string
+		byIndex  = make(map[int]string)    // shard index -> file name
+		owner    = make(map[RunKey]string) // run -> file that provided it
+		outputs  = make(map[RunKey]*RunOutput)
+		planKeys []RunKey
+		inPlan   = make(map[RunKey]bool)
+	)
+	for fi, f := range files {
+		var doc runsDoc
+		if err := json.Unmarshal(f.Data, &doc); err != nil {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: %s: corrupt document: %w", f.Name, err)
+		}
+		if doc.SchemaVersion != RunJSONSchemaVersion {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: %s: schema version v%d, want v%d — regenerate the shard",
+				f.Name, doc.SchemaVersion, RunJSONSchemaVersion)
+		}
+		if doc.Shard == nil || doc.Config == nil || len(doc.Plan) == 0 {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: %s: not a shard document (missing shard/config/plan header)", f.Name)
+		}
+		if fi == 0 {
+			ref, refFile = doc, f.Name
+			planKeys = make([]RunKey, 0, len(doc.Plan))
+			for _, kd := range doc.Plan {
+				k := kd.key()
+				planKeys = append(planKeys, k)
+				inPlan[k] = true
+			}
+		} else {
+			if doc.Fingerprint != ref.Fingerprint {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: config fingerprint %.12s does not match %s (%.12s) — shards from different sweeps",
+					f.Name, doc.Fingerprint, refFile, ref.Fingerprint)
+			}
+			if doc.Shard.Count != ref.Shard.Count {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: shard count %d, %s has %d",
+					f.Name, doc.Shard.Count, refFile, ref.Shard.Count)
+			}
+			if !slicesEqual(doc.Plan, ref.Plan) {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: plan does not match %s", f.Name, refFile)
+			}
+			if !slicesEqual(doc.Experiments, ref.Experiments) {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: experiment selection does not match %s", f.Name, refFile)
+			}
+		}
+		if prev, dup := byIndex[doc.Shard.Index]; dup {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: %s and %s both claim shard %d/%d",
+				prev, f.Name, doc.Shard.Index, doc.Shard.Count)
+		}
+		byIndex[doc.Shard.Index] = f.Name
+
+		for _, rd := range doc.Runs {
+			k := keyDoc{rd.Workload, rd.Scheme, rd.THP}.key()
+			if !inPlan[k] {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: run %s is not in the plan", f.Name, k)
+			}
+			if prev, dup := owner[k]; dup {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: run %s appears in both %s and %s", k, prev, f.Name)
+			}
+			owner[k] = f.Name
+			if rd.Output == nil {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: run %s has no output payload", f.Name, k)
+			}
+			out, err := decodeRunOutput(*rd.Output)
+			if err != nil {
+				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: run %s: %w", f.Name, k, err)
+			}
+			// Host wall-clock is observational: restore it when the shard
+			// carried -timings so a merged -timings document has values,
+			// but it never participates in any table or identity check.
+			out.HostSeconds = rd.HostSeconds
+			outputs[k] = out
+		}
+	}
+
+	if len(files) != ref.Shard.Count {
+		var missing []int
+		for i := 0; i < ref.Shard.Count; i++ {
+			if _, ok := byIndex[i]; !ok {
+				missing = append(missing, i)
+			}
+		}
+		return nil, Plan{}, fmt.Errorf("experiments: merge: have %d shard file(s) for shard count %d (missing shard indices %v)",
+			len(files), ref.Shard.Count, missing)
+	}
+	for _, k := range planKeys {
+		if _, ok := outputs[k]; !ok {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: run %s missing from every shard", k)
+		}
+	}
+
+	// Rebuild the plan from the header's own config + experiment keys and
+	// cross-check it against the serialized run list: a mismatch means the
+	// document was produced by a diverging registry or tampered with.
+	exps, err := Select(ref.Experiments...)
+	if err != nil {
+		return nil, Plan{}, fmt.Errorf("experiments: merge: %s: %w", refFile, err)
+	}
+	p := NewPlan(*ref.Config, exps)
+	if len(p.Runs) != len(planKeys) {
+		return nil, Plan{}, fmt.Errorf("experiments: merge: %s: plan has %d runs, config derives %d", refFile, len(planKeys), len(p.Runs))
+	}
+	for i, k := range p.Runs {
+		if planKeys[i] != k {
+			return nil, Plan{}, fmt.Errorf("experiments: merge: %s: plan run %d is %s, config derives %s", refFile, i, planKeys[i], k)
+		}
+	}
+
+	r := NewRunner(*ref.Config)
+	for _, k := range p.Runs {
+		r.installRun(k, outputs[k])
+	}
+	return r, p, nil
+}
+
+// slicesEqual compares two comparable slices element-wise (ordered keys on
+// both sides, so order is significant).
+func slicesEqual[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

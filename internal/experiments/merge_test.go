@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mergeFixture builds a complete n-way shard-document set over the
+// walkcaches plan using fabricated outputs — no simulation involved, so
+// every merge path (happy and unhappy) is exercised at unit-test speed.
+func mergeFixture(t *testing.T, cfg Config, n int) (*Runner, Plan, []ShardFile) {
+	t.Helper()
+	exps, err := Select("walkcaches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(cfg, exps)
+	r := NewRunner(cfg)
+	for i, k := range plan.Runs {
+		r.installRun(k, fakeOutput(k, i))
+	}
+	files := make([]ShardFile, n)
+	for s := 0; s < n; s++ {
+		b, err := r.ShardJSON(plan, []string{"walkcaches"}, ShardSpec{Index: s, Count: n}, RunJSONOptions{Timings: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[s] = ShardFile{Name: fmt.Sprintf("part%d.json", s), Data: b}
+	}
+	return r, plan, files
+}
+
+// mutate round-trips a shard document through runsDoc, applies f, and
+// re-serializes. (The flat metrics field does not survive the round trip —
+// metrics.Set has no unmarshaler — but MergeShards reads only the typed
+// output payloads, which do.)
+func mutate(t *testing.T, data []byte, f func(*runsDoc)) []byte {
+	t.Helper()
+	var doc runsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	f(&doc)
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func wantMergeError(t *testing.T, files []ShardFile, substrings ...string) {
+	t.Helper()
+	_, _, err := MergeShards(files)
+	if err == nil {
+		t.Fatalf("merge accepted a bad shard set (wanted error mentioning %q)", substrings)
+	}
+	for _, s := range substrings {
+		if !strings.Contains(err.Error(), s) {
+			t.Errorf("error %q does not mention %q", err, s)
+		}
+	}
+}
+
+func TestMergeShardsRoundTrip(t *testing.T) {
+	cfg := jsonSweepConfig()
+	for n := 1; n <= 3; n++ {
+		orig, plan, files := mergeFixture(t, cfg, n)
+		merged, mp, err := MergeShards(files)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !slicesEqual(mp.Runs, plan.Runs) {
+			t.Fatalf("n=%d: merged plan %v, want %v", n, mp.Runs, plan.Runs)
+		}
+		want, err := orig.RunsJSON(plan, RunJSONOptions{Timings: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := merged.RunsJSON(mp, RunJSONOptions{Timings: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("n=%d: merged document differs from the source runner's\n--- want ---\n%s\n--- got ---\n%s", n, want, got)
+		}
+	}
+}
+
+func TestMergeShardsSchemaMismatch(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	files[1].Data = mutate(t, files[1].Data, func(d *runsDoc) { d.SchemaVersion = RunJSONSchemaVersion - 1 })
+	wantMergeError(t, files, "part1.json", "schema version")
+}
+
+func TestMergeShardsCorruptDocument(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	files[0].Data = files[0].Data[:len(files[0].Data)/2] // truncate mid-JSON
+	wantMergeError(t, files, "part0.json", "corrupt")
+}
+
+func TestMergeShardsNotAShardDocument(t *testing.T) {
+	r, plan, files := mergeFixture(t, jsonSweepConfig(), 2)
+	flat, err := r.RunsJSON(plan, RunJSONOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files[0].Data = flat
+	wantMergeError(t, files, "part0.json", "not a shard document")
+}
+
+func TestMergeShardsDuplicateShardIndex(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	dup := []ShardFile{files[0], {Name: "copy-of-part0.json", Data: files[0].Data}}
+	wantMergeError(t, dup, "part0.json", "copy-of-part0.json", "both claim shard 0")
+}
+
+func TestMergeShardsMissingShard(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 3)
+	wantMergeError(t, files[:2], "shard count 3", "missing shard indices [2]")
+}
+
+func TestMergeShardsMissingRun(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	var dropped RunKey
+	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) {
+		dropped = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP}.key()
+		d.Runs = d.Runs[1:]
+	})
+	wantMergeError(t, files, dropped.String(), "missing from every shard")
+}
+
+func TestMergeShardsDuplicateRunAcrossShards(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	var stolen runDoc
+	mutate(t, files[1].Data, func(d *runsDoc) { stolen = d.Runs[0] })
+	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) { d.Runs = append(d.Runs, stolen) })
+	key := keyDoc{stolen.Workload, stolen.Scheme, stolen.THP}.key()
+	wantMergeError(t, files, key.String(), "part0.json", "part1.json")
+}
+
+func TestMergeShardsRunOutsidePlan(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) { d.Runs[0].Workload = "zzz" })
+	wantMergeError(t, files, "part0.json", "not in the plan")
+}
+
+func TestMergeShardsMissingOutputPayload(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) { d.Runs[0].Output = nil })
+	wantMergeError(t, files, "part0.json", "no output payload")
+}
+
+func TestMergeShardsCorruptMetricKind(t *testing.T) {
+	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
+	var key string
+	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) {
+		key = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP}.key().String()
+		d.Runs[0].Output.Sim.Metrics[0].Kind = "histogram"
+	})
+	wantMergeError(t, files, "part0.json", key, "unknown kind")
+}
+
+func TestMergeShardsFingerprintMismatch(t *testing.T) {
+	cfgA := jsonSweepConfig()
+	cfgB := jsonSweepConfig()
+	cfgB.Params.TraceLen++ // a different sweep
+	_, _, filesA := mergeFixture(t, cfgA, 2)
+	_, _, filesB := mergeFixture(t, cfgB, 2)
+	wantMergeError(t, []ShardFile{filesA[0], filesB[1]}, "part1.json", "fingerprint")
+}
+
+func TestMergeShardsShardCountMismatch(t *testing.T) {
+	_, _, files2 := mergeFixture(t, jsonSweepConfig(), 2)
+	_, _, files3 := mergeFixture(t, jsonSweepConfig(), 3)
+	wantMergeError(t, []ShardFile{files2[0], files3[1]}, "shard count")
+}
+
+func TestMergeShardsNoFiles(t *testing.T) {
+	wantMergeError(t, nil, "no shard files")
+}
+
+func TestConfigFingerprintSensitivity(t *testing.T) {
+	a := jsonSweepConfig()
+	b := jsonSweepConfig()
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa2, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fa2 {
+		t.Error("identical configs fingerprint differently")
+	}
+	b.Params.Seed++
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb {
+		t.Error("different configs share a fingerprint")
+	}
+}

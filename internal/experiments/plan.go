@@ -49,63 +49,137 @@ type ExecOptions struct {
 	// MemBudgetBytes caps the summed simulated footprint of in-flight
 	// runs (0 means DefaultMemBudgetBytes; see sched.Options).
 	MemBudgetBytes uint64
+	// Shard, when Count > 1, restricts execution to the runs AssignShards
+	// gives shard Index. The compute phase needs the full matrix, so
+	// sharded execution goes through ExecuteRuns + ShardJSON and the
+	// partial documents are recombined with MergeShards.
+	Shard ShardSpec
+	// Cache, when non-nil, is consulted before simulating (hits skip the
+	// simulation entirely) and updated with every newly computed run.
+	Cache *RunCache
 }
 
-// ExecutePlan runs the pipeline's execute phase: build each required
-// workload once, execute the deduped run matrix on the worker pool, merge
-// the outputs into the cache in plan order, and then invoke each
-// experiment's compute phase sequentially. The returned results — tables,
-// summaries, and raw structs — are bit-for-bit identical at any worker
-// count; only the Sink's progress stream reflects scheduling.
-func (r *Runner) ExecutePlan(p Plan, opt ExecOptions) ([]Result, error) {
+// ExecuteRuns runs the pipeline's execute phase: select the runs this
+// host is responsible for (all of them, or one shard), skip the ones
+// already computed or restorable from the run cache, build the workloads
+// the remainder needs in parallel, execute them on the worker pool, and
+// merge the outputs into the runner in plan order. The runner's state
+// after ExecuteRuns is bit-for-bit independent of worker count and of the
+// cold/warm split; only the Sink's progress stream reflects scheduling.
+func (r *Runner) ExecuteRuns(p Plan, opt ExecOptions) error {
 	if opt.MemBudgetBytes == 0 {
 		opt.MemBudgetBytes = DefaultMemBudgetBytes
 	}
 
-	// Build every workload up front, in deterministic first-appearance
-	// order, so workers never race on the heavyweight builds.
+	selected := make([]int, 0, len(p.Runs))
+	if opt.Shard.enabled() {
+		if err := opt.Shard.validate(); err != nil {
+			return err
+		}
+		assign, err := r.AssignPlan(p, opt.Shard.Count)
+		if err != nil {
+			return err
+		}
+		for i := range p.Runs {
+			if assign[i] == opt.Shard.Index {
+				selected = append(selected, i)
+			}
+		}
+	} else {
+		for i := range p.Runs {
+			selected = append(selected, i)
+		}
+	}
+
+	// Drop runs already in memory (a warm runner, or outputs installed by
+	// MergeShards), then runs restorable from the persistent cache. What
+	// remains is the pending set that actually simulates.
+	var pending []int
+	for _, i := range selected {
+		if _, done := r.lookupRun(p.Runs[i]); done {
+			continue
+		}
+		if opt.Cache != nil {
+			out, hit, err := opt.Cache.Load(p.Runs[i])
+			if err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+			if hit {
+				r.installRun(p.Runs[i], out)
+				r.sink.RunCached(p.Runs[i])
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+
+	// Build the workloads the pending runs need — and only those — on the
+	// worker pool, in deterministic first-appearance order.
 	var names []string
 	seenWl := make(map[string]bool)
-	for _, k := range p.Runs {
-		if !seenWl[k.Workload] {
+	for _, i := range pending {
+		if k := p.Runs[i]; !seenWl[k.Workload] {
 			seenWl[k.Workload] = true
 			names = append(names, k.Workload)
 		}
 	}
-	tasks := make([]sched.Task[RunKey], len(p.Runs))
-	for _, n := range names {
-		if _, err := r.Workload(n); err != nil {
-			return nil, err
-		}
-	}
-	for i, k := range p.Runs {
-		w, err := r.Workload(k.Workload)
-		if err != nil {
-			return nil, err
-		}
-		tasks[i] = sched.Task[RunKey]{Key: k, CostBytes: r.runBytes(w)}
+	if err := r.BuildWorkloads(names, opt.Workers); err != nil {
+		return err
 	}
 
+	tasks := make([]sched.Task[RunKey], len(pending))
+	for ti, i := range pending {
+		w, err := r.Workload(p.Runs[i].Workload)
+		if err != nil {
+			return err
+		}
+		tasks[ti] = sched.Task[RunKey]{Key: p.Runs[i], CostBytes: r.runBytes(w)}
+	}
 	schedOpt := sched.Options{
 		Workers:     opt.Workers,
 		BudgetBytes: opt.MemBudgetBytes,
 	}
 	if ms, ok := r.sink.(MemSink); ok {
-		schedOpt.ObserveMem = func(i int, s sched.MemSample) {
-			ms.RunHostMem(p.Runs[i], s)
+		schedOpt.ObserveMem = func(ti int, s sched.MemSample) {
+			ms.RunHostMem(p.Runs[pending[ti]], s)
 		}
 	}
 	outs, err := sched.Run(tasks, schedOpt, r.execute)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+		return fmt.Errorf("experiments: %w", err)
 	}
 	// Merge in plan order — a fixed, deterministic key order independent
 	// of which worker finished when.
 	r.mu.Lock()
-	for i, k := range p.Runs {
-		r.runs[k] = outs[i]
+	for ti, i := range pending {
+		r.runs[p.Runs[i]] = outs[ti]
 	}
 	r.mu.Unlock()
+	if opt.Cache != nil {
+		for ti, i := range pending {
+			if err := opt.Cache.Store(p.Runs[i], outs[ti]); err != nil {
+				return fmt.Errorf("experiments: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// ExecutePlan runs the full pipeline: the execute phase over the whole run
+// matrix (ExecuteRuns), then each experiment's compute phase sequentially.
+// The returned results — tables, summaries, and raw structs — are
+// bit-for-bit identical at any worker count and whether the runs were
+// simulated here, restored from a run cache, or installed by MergeShards.
+func (r *Runner) ExecutePlan(p Plan, opt ExecOptions) ([]Result, error) {
+	if opt.Shard.enabled() {
+		return nil, fmt.Errorf("experiments: ExecutePlan cannot compute tables from shard %s alone; use ExecuteRuns and merge the shards", opt.Shard)
+	}
+	if err := r.ExecuteRuns(p, opt); err != nil {
+		return nil, err
+	}
 
 	results := make([]Result, 0, len(p.Experiments))
 	for _, e := range p.Experiments {

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// cacheEntry is one persisted run. It repeats the schema version and
+// config fingerprint so a stale or foreign file is detected even if it was
+// copied into the wrong directory by hand.
+type cacheEntry struct {
+	SchemaVersion int          `json:"schema_version"`
+	Fingerprint   string       `json:"fingerprint"`
+	Key           keyDoc       `json:"key"`
+	Output        runOutputDoc `json:"output"`
+	// HostSeconds records how long the cached simulation took when it
+	// actually ran — observational, restored only so -timings output has a
+	// value, never part of any identity check.
+	HostSeconds float64 `json:"host_seconds"`
+}
+
+// A RunCache persists completed RunOutputs on disk, one JSON file per
+// RunKey, under a directory namespaced by the schema version and the sweep
+// config's fingerprint. Repeated sweeps under the same config load their
+// runs back instead of simulating; any config or schema change lands in a
+// fresh namespace, so stale entries can never be replayed into a different
+// sweep. A present-but-unreadable entry is an error naming the key and
+// file — never a silent re-simulation and never a wrong table.
+type RunCache struct {
+	dir         string
+	fingerprint string
+}
+
+// NewRunCache opens (creating if needed) the cache namespace for cfg under
+// root.
+func NewRunCache(root string, cfg Config) (*RunCache, error) {
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(root, fmt.Sprintf("v%d-%s", RunJSONSchemaVersion, fp[:16]))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: run cache: %w", err)
+	}
+	return &RunCache{dir: dir, fingerprint: fp}, nil
+}
+
+// Dir returns the namespace directory entries live in.
+func (c *RunCache) Dir() string { return c.dir }
+
+// entryPath maps a RunKey to its file. Scheme names and THP are embedded
+// readably; the workload name is sanitized (mem$ → mem_) so every key maps
+// to a distinct portable file name.
+func (c *RunCache) entryPath(key RunKey) string {
+	san := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('_')
+			}
+		}
+		return b.String()
+	}
+	return filepath.Join(c.dir, fmt.Sprintf("%s__%s__thp-%t.json", san(key.Workload), san(string(key.Scheme)), key.THP))
+}
+
+// Load returns the cached output for key. A missing entry is (nil, false,
+// nil); a present but corrupt or mismatched entry is an error naming the
+// key and file.
+func (c *RunCache) Load(key RunKey) (*RunOutput, bool, error) {
+	path := c.entryPath(key)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("run cache: %s: reading %s: %w", key, path, err)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, false, fmt.Errorf("run cache: %s: corrupt entry %s: %w", key, path, err)
+	}
+	if e.SchemaVersion != RunJSONSchemaVersion {
+		return nil, false, fmt.Errorf("run cache: %s: entry %s has schema v%d, want v%d", key, path, e.SchemaVersion, RunJSONSchemaVersion)
+	}
+	if e.Fingerprint != c.fingerprint {
+		return nil, false, fmt.Errorf("run cache: %s: entry %s has config fingerprint %.12s, want %.12s", key, path, e.Fingerprint, c.fingerprint)
+	}
+	if got := e.Key.key(); got != key {
+		return nil, false, fmt.Errorf("run cache: %s: entry %s holds run %s", key, path, got)
+	}
+	out, err := decodeRunOutput(e.Output)
+	if err != nil {
+		return nil, false, fmt.Errorf("run cache: %s: corrupt entry %s: %w", key, path, err)
+	}
+	out.HostSeconds = e.HostSeconds
+	return out, true, nil
+}
+
+// Store persists a completed run atomically (write to a temp file in the
+// same directory, then rename), so a crashed or concurrent sweep can never
+// leave a truncated entry behind.
+func (c *RunCache) Store(key RunKey, out *RunOutput) error {
+	e := cacheEntry{
+		SchemaVersion: RunJSONSchemaVersion,
+		Fingerprint:   c.fingerprint,
+		Key:           keyToDoc(key),
+		Output:        encodeRunOutput(out),
+		HostSeconds:   out.HostSeconds,
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("run cache: %s: %w", key, err)
+	}
+	path := c.entryPath(key)
+	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("run cache: %s: %w", key, err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run cache: %s: writing %s: %w", key, tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run cache: %s: writing %s: %w", key, tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run cache: %s: %w", key, err)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"lvm/internal/oskernel"
+)
+
+func testKey() RunKey { return RunKey{"mem$", oskernel.SchemeLVM, false} }
+
+func TestRunCacheRoundTrip(t *testing.T) {
+	c, err := NewRunCache(t.TempDir(), jsonSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+
+	if _, hit, err := c.Load(key); err != nil || hit {
+		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	}
+
+	want := fakeOutput(key, 3)
+	if err := c.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := c.Load(key)
+	if err != nil || !hit {
+		t.Fatalf("Load after Store: hit=%v err=%v", hit, err)
+	}
+	// Compare through the canonical wire form: metric insertion order is
+	// allowed to differ, nothing else is.
+	if !reflect.DeepEqual(encodeRunOutput(got), encodeRunOutput(want)) {
+		t.Errorf("round trip changed the output:\n got %+v\nwant %+v", encodeRunOutput(got), encodeRunOutput(want))
+	}
+	if got.HostSeconds != want.HostSeconds {
+		t.Errorf("HostSeconds %v, want %v", got.HostSeconds, want.HostSeconds)
+	}
+}
+
+func TestRunCacheNamespacesByConfig(t *testing.T) {
+	root := t.TempDir()
+	cfgA := jsonSweepConfig()
+	cfgB := jsonSweepConfig()
+	cfgB.Params.Seed++
+	a, err := NewRunCache(root, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunCache(root, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dir() == b.Dir() {
+		t.Fatalf("different configs share namespace %s", a.Dir())
+	}
+	key := testKey()
+	if err := a.Store(key, fakeOutput(key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := b.Load(key); err != nil || hit {
+		t.Errorf("config B saw config A's entry: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestRunCacheCorruptEntry(t *testing.T) {
+	c, err := NewRunCache(t.TempDir(), jsonSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := c.Store(key, fakeOutput(key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := c.entryPath(key)
+	if err := os.WriteFile(path, []byte("{ truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.Load(key)
+	if err == nil {
+		t.Fatal("corrupt entry loaded without error")
+	}
+	for _, want := range []string{key.String(), path, "corrupt"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRunCacheKeyMismatch(t *testing.T) {
+	c, err := NewRunCache(t.TempDir(), jsonSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := RunKey{"bfs", oskernel.SchemeRadix, false}
+	keyB := RunKey{"bfs", oskernel.SchemeLVM, false}
+	if err := c.Store(keyA, fakeOutput(keyA, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-copied entry file must be rejected by the embedded key.
+	b, err := os.ReadFile(c.entryPath(keyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.entryPath(keyB), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Load(keyB); err == nil || !strings.Contains(err.Error(), keyA.String()) {
+		t.Errorf("copied entry accepted or error unhelpful: %v", err)
+	}
+}
+
+func TestRunCacheStaleEntryRejected(t *testing.T) {
+	c, err := NewRunCache(t.TempDir(), jsonSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := c.Store(key, fakeOutput(key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rewrite := func(f func(*cacheEntry)) {
+		t.Helper()
+		b, err := os.ReadFile(c.entryPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(b, &e); err != nil {
+			t.Fatal(err)
+		}
+		f(&e)
+		out, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(c.entryPath(key), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rewrite(func(e *cacheEntry) { e.SchemaVersion = RunJSONSchemaVersion - 1 })
+	if _, _, err := c.Load(key); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("stale schema accepted: %v", err)
+	}
+
+	if err := c.Store(key, fakeOutput(key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rewrite(func(e *cacheEntry) { e.Fingerprint = "beefbeefbeefbeef" })
+	if _, _, err := c.Load(key); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign fingerprint accepted: %v", err)
+	}
+}
+
+// countingSink records which pipeline events fired, for the warm-cache
+// zero-simulation assertion.
+type countingSink struct {
+	mu      sync.Mutex
+	started []RunKey
+	cached  []RunKey
+}
+
+func (s *countingSink) RunStart(k RunKey) {
+	s.mu.Lock()
+	s.started = append(s.started, k)
+	s.mu.Unlock()
+}
+func (s *countingSink) RunCached(k RunKey) {
+	s.mu.Lock()
+	s.cached = append(s.cached, k)
+	s.mu.Unlock()
+}
+func (s *countingSink) RunDone(RunKey, float64, error)        {}
+func (s *countingSink) ExperimentStart(string, string)        {}
+func (s *countingSink) ExperimentDone(string, float64, error) {}
+
+// The cache acceptance test: a cold sweep simulates everything and fills
+// the cache; a warm sweep over a fresh runner simulates nothing, reports
+// every run as cached, and produces a byte-identical document. A corrupt
+// entry surfaces as an error naming the run, never as a silent re-run.
+func TestRunCacheColdWarmSweep(t *testing.T) {
+	skipSweep(t)
+	cfg := jsonSweepConfig()
+	plan := jsonSweepPlan(cfg)
+	cache, err := NewRunCache(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := &countingSink{}
+	r1 := NewRunner(cfg)
+	r1.SetSink(cold)
+	if _, err := r1.ExecutePlan(plan, ExecOptions{Workers: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.started) != len(plan.Runs) || len(cold.cached) != 0 {
+		t.Fatalf("cold sweep: %d started, %d cached; want %d/0", len(cold.started), len(cold.cached), len(plan.Runs))
+	}
+	coldJSON, err := r1.RunsJSON(plan, RunJSONOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := &countingSink{}
+	r2 := NewRunner(cfg)
+	r2.SetSink(warm)
+	if _, err := r2.ExecutePlan(plan, ExecOptions{Workers: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.started) != 0 {
+		t.Errorf("warm sweep simulated %d runs: %v", len(warm.started), warm.started)
+	}
+	if len(warm.cached) != len(plan.Runs) {
+		t.Errorf("warm sweep reported %d cached runs, want %d", len(warm.cached), len(plan.Runs))
+	}
+	warmJSON, err := r2.RunsJSON(plan, RunJSONOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Error("warm-cache document differs from the cold one")
+	}
+
+	// Corrupt one entry: the next sweep must fail loudly, naming the run.
+	bad := plan.Runs[1]
+	if err := os.WriteFile(cache.entryPath(bad), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(cfg)
+	if err := r3.ExecuteRuns(plan, ExecOptions{Workers: 2, Cache: cache}); err == nil {
+		t.Fatal("corrupt cache entry did not fail the sweep")
+	} else if !strings.Contains(err.Error(), bad.String()) {
+		t.Errorf("error %q does not name run %s", err, bad)
+	}
+}

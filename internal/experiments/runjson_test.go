@@ -124,6 +124,23 @@ func TestCompareRunsJSONGaugeTolerance(t *testing.T) {
 	}
 }
 
+// The gate's gauge tolerance is a hard edge: a relative deviation just
+// past 1e-9 must fail, just under must pass — that is what lets the gate
+// absorb float-formatting noise while still catching real drift.
+func TestCompareRunsJSONGaugeToleranceBoundary(t *testing.T) {
+	base := gateDoc(1, `"run.ipc":1.0`)
+	justOutside := gateDoc(1, `"run.ipc":1.000000002`) // rel diff 2e-9
+	if err := CompareRunsJSON(base, justOutside, DefaultGateOptions()); err == nil {
+		t.Error("gauge 2e-9 outside tolerance accepted")
+	} else if !strings.Contains(err.Error(), "run.ipc") {
+		t.Errorf("diff does not name the gauge: %v", err)
+	}
+	justInside := gateDoc(1, `"run.ipc":1.0000000005`) // rel diff 5e-10
+	if err := CompareRunsJSON(base, justInside, DefaultGateOptions()); err != nil {
+		t.Errorf("gauge 5e-10 within tolerance rejected: %v", err)
+	}
+}
+
 func TestCompareRunsJSONStructuralDiffs(t *testing.T) {
 	base := gateDoc(1, `"a":1`)
 	if err := CompareRunsJSON(base, gateDoc(2, `"a":1`), DefaultGateOptions()); err == nil {

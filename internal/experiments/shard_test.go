@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lvm/internal/metrics"
+	"lvm/internal/oskernel"
+	"lvm/internal/sim"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]ShardSpec{
+		"0/1":   {0, 1},
+		"0/2":   {0, 2},
+		"1/2":   {1, 2},
+		"2/3":   {2, 3},
+		" 1/ 4": {1, 4},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil {
+			t.Errorf("ParseShard(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseShard(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "1", "a/2", "1/b", "2/2", "-1/2", "0/0", "1/-3"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted", in)
+		}
+	}
+}
+
+func TestAssignShardsDeterministicAndComplete(t *testing.T) {
+	costs := []uint64{100, 100, 50, 900, 25, 25, 300, 100}
+	for n := 1; n <= 4; n++ {
+		a := AssignShards(costs, n)
+		b := AssignShards(costs, n)
+		if len(a) != len(costs) {
+			t.Fatalf("n=%d: %d assignments for %d runs", n, len(a), len(costs))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: assignment not deterministic at run %d", n, i)
+			}
+			if a[i] < 0 || a[i] >= n {
+				t.Fatalf("n=%d: run %d assigned to shard %d", n, i, a[i])
+			}
+		}
+	}
+	// n=1 puts everything on shard 0.
+	for i, s := range AssignShards(costs, 1) {
+		if s != 0 {
+			t.Errorf("n=1: run %d on shard %d", i, s)
+		}
+	}
+}
+
+func TestAssignShardsBalanced(t *testing.T) {
+	// LPT on equal costs must spread runs evenly; the heavy-run case must
+	// not stack heavies on one shard.
+	equal := []uint64{10, 10, 10, 10, 10, 10}
+	counts := make([]int, 3)
+	for _, s := range AssignShards(equal, 3) {
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c != 2 {
+			t.Errorf("equal costs: shard %d has %d runs, want 2", s, c)
+		}
+	}
+
+	skewed := []uint64{900, 800, 10, 10, 10, 10}
+	loads := make([]uint64, 2)
+	for i, s := range AssignShards(skewed, 2) {
+		loads[s] += skewed[i]
+	}
+	if loads[0] == 0 || loads[1] == 0 {
+		t.Fatalf("a shard got nothing: %v", loads)
+	}
+	if max(loads[0], loads[1]) > 1000 {
+		t.Errorf("heavies stacked: loads %v", loads)
+	}
+}
+
+func TestEstimateCostsMatchRunBytes(t *testing.T) {
+	// Cross-host determinism hinges on estimated costs being exactly the
+	// scheduler costs a host that builds the workloads would compute.
+	cfg := jsonSweepConfig()
+	r := NewRunner(cfg)
+	p := jsonSweepPlan(cfg)
+	costs, err := r.EstimateCosts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range p.Runs {
+		w, err := r.Workload(k.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if costs[i] != r.runBytes(w) {
+			t.Errorf("%s: estimated cost %d, built cost %d", k, costs[i], r.runBytes(w))
+		}
+	}
+	if _, err := r.EstimateCosts(Plan{Runs: []RunKey{{"nope", oskernel.SchemeLVM, false}}}); err == nil {
+		t.Error("unknown workload estimated without error")
+	}
+}
+
+func TestExecutePlanRejectsShard(t *testing.T) {
+	r := NewRunner(jsonSweepConfig())
+	_, err := r.ExecutePlan(jsonSweepPlan(r.Cfg), ExecOptions{Workers: 1, Shard: ShardSpec{0, 2}})
+	if err == nil {
+		t.Fatal("ExecutePlan accepted a shard spec")
+	}
+}
+
+// fakeOutput builds a distinguishable RunOutput without simulating, for
+// serialization and merge tests.
+func fakeOutput(k RunKey, i int) *RunOutput {
+	var m metrics.Set
+	m.Counter("tlb.l2.misses", uint64(100+13*i))
+	m.Counter("dram.accesses", uint64(7*i))
+	m.Gauge("run.ipc", 0.25+0.125*float64(i))
+	m.Gauge("tlb.l2.miss_rate", float64(i)/17)
+	return &RunOutput{
+		Sim: sim.Result{
+			Workload:     k.Workload,
+			Scheme:       string(k.Scheme),
+			Instructions: uint64(1000 + i),
+			Accesses:     uint64(500 + i),
+			Cycles:       1234.5 + float64(i)/3,
+			WalkCycles:   88.25 * float64(i),
+			Walks:        uint64(40 * i),
+			Metrics:      m,
+		},
+		IndexBytes:     16 * i,
+		IndexPeakBytes: 32 * i,
+		IndexDepth:     1 + i%2,
+		IndexLeaves:    i,
+		LWCHitRate:     1 - float64(i)/64,
+		Retrains:       uint64(i),
+		Rebuilds:       uint64(i % 2),
+		Overflows:      uint64(i % 3),
+		MgmtCycles:     uint64(11 * i),
+		PWCPDEMissRate: float64(i) / 9,
+		OverheadBytes:  uint64(13 * i),
+		CollisionRate:  float64(i) / 100,
+		ExtraPerColl:   float64(i%2) + 1,
+		HostSeconds:    1.5 + float64(i),
+	}
+}
+
+// The tentpole acceptance test: for shard counts 1, 2 and 3, executing
+// each shard on its own runner (real simulations), serializing the shard
+// documents and merging them must reproduce the unsharded -json document
+// byte for byte.
+func TestShardMergeByteIdentical(t *testing.T) {
+	skipSweep(t)
+	// The walkcaches registry experiment requires exactly the tiny
+	// fixture's 4-run matrix, so the unsharded executeTiny document is the
+	// byte-for-byte reference for the sharded runs.
+	baseline := executeTiny(t, 2, false)
+	cfg := jsonSweepConfig()
+	exps, err := Select("walkcaches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(cfg, exps)
+	if want := jsonSweepPlan(cfg); !slicesEqual(plan.Runs, want.Runs) {
+		t.Fatalf("walkcaches run matrix %v does not match the tiny fixture %v", plan.Runs, want.Runs)
+	}
+
+	for n := 1; n <= 3; n++ {
+		files := make([]ShardFile, n)
+		for s := 0; s < n; s++ {
+			rs := NewRunner(cfg)
+			spec := ShardSpec{Index: s, Count: n}
+			if err := rs.ExecuteRuns(plan, ExecOptions{Workers: 2, Shard: spec}); err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, s, err)
+			}
+			b, err := rs.ShardJSON(plan, []string{"walkcaches"}, spec, RunJSONOptions{})
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, s, err)
+			}
+			files[s] = ShardFile{Name: fmt.Sprintf("part%d-of-%d.json", s, n), Data: b}
+		}
+		merged, mp, err := MergeShards(files)
+		if err != nil {
+			t.Fatalf("n=%d: merge: %v", n, err)
+		}
+		if !slicesEqual(mp.Runs, plan.Runs) {
+			t.Fatalf("n=%d: merged plan diverges", n)
+		}
+		got, err := merged.RunsJSON(mp, RunJSONOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: merged RunsJSON: %v", n, err)
+		}
+		if !bytes.Equal(got, baseline) {
+			t.Errorf("n=%d: merged document differs from unsharded baseline", n)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Result caching for standalone lvmlint runs. Loading the module from
+// source costs a few seconds per invocation; since the diagnostics are a
+// pure function of the source tree, the toolchain, and the analyzer
+// suite, a run whose inputs hash to a previously seen key can replay its
+// recorded diagnostics without type-checking anything. The cache is
+// strictly transparent: any read problem is a miss (full run), any write
+// problem is ignored, and a hash change — one edited byte anywhere in the
+// module — lands on a new key.
+
+// resultCacheVersion invalidates the cache file layout itself; bump it
+// when cachedResult changes shape.
+const resultCacheVersion = 1
+
+type cachedResult struct {
+	Version     int      `json:"version"`
+	Key         string   `json:"key"`
+	Diagnostics []string `json:"diagnostics"`
+}
+
+// DefaultCacheDir returns the on-disk location of the result cache:
+// $LVMLINT_CACHE when set, else <user cache dir>/lvmlint.
+func DefaultCacheDir() (string, error) {
+	if dir := os.Getenv("LVMLINT_CACHE"); dir != "" {
+		return dir, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("lint: no cache dir: %w", err)
+	}
+	return filepath.Join(base, "lvmlint"), nil
+}
+
+// CacheKey hashes everything a standalone run's diagnostics depend on:
+// the cache layout version, the Go toolchain, the analyzer suite, the
+// module root (diagnostic strings embed absolute paths), the command-line
+// patterns, and the relative path plus content of go.mod and of every .go
+// file in the module. The file walk mirrors LoadAll's directory skip
+// rules, and single-directory runs still hash the whole module because
+// the loader resolves imports from source anywhere in it.
+func CacheKey(modRoot string, patterns []string) (string, error) {
+	h := sha256.New()
+	put := func(parts ...string) {
+		for _, p := range parts {
+			fmt.Fprintf(h, "%d:%s\n", len(p), p)
+		}
+	}
+	put("lvmlint-cache", fmt.Sprint(resultCacheVersion), runtime.Version(), modRoot)
+	for _, a := range Analyzers() {
+		put("analyzer", a.Name)
+	}
+	for _, p := range patterns {
+		put("pattern", p)
+	}
+
+	var files []string
+	err := filepath.WalkDir(modRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") || name == "go.mod" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("lint: cache key: %w", err)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			return "", fmt.Errorf("lint: cache key: %w", err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", fmt.Errorf("lint: cache key: %w", err)
+		}
+		sum := sha256.Sum256(b)
+		put("file", filepath.ToSlash(rel), hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// LoadCachedResult returns the recorded diagnostics for key. Any problem
+// — absent file, unreadable file, corrupt JSON, layout or key mismatch —
+// is reported as a plain miss so the caller falls back to a full run.
+func LoadCachedResult(dir, key string) ([]string, bool) {
+	b, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var r cachedResult
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, false
+	}
+	if r.Version != resultCacheVersion || r.Key != key {
+		return nil, false
+	}
+	return r.Diagnostics, true
+}
+
+// StoreCachedResult records a completed run under key, atomically (temp
+// file + rename) so a concurrent reader never sees a partial entry.
+func StoreCachedResult(dir, key string, diags []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(cachedResult{Version: resultCacheVersion, Key: key, Diagnostics: diags}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, key+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

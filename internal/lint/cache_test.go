@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCacheKeyTracksSourceEdits(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":        "module example\n",
+		"a/a.go":        "package a\n",
+		"b/b.go":        "package b\n",
+		"testdata/x.go": "not even go\n",
+	})
+	k1, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical tree hashed differently")
+	}
+
+	// Edit a file: new key. Revert it: original key.
+	orig := "package a\n"
+	if err := os.WriteFile(filepath.Join(root, "a/a.go"), []byte("package a // changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited == k1 {
+		t.Error("edited file did not change the key")
+	}
+	if err := os.WriteFile(filepath.Join(root, "a/a.go"), []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reverted, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reverted != k1 {
+		t.Error("reverting the edit did not restore the key")
+	}
+
+	// testdata is outside the loader's view, so edits there are invisible.
+	if err := os.WriteFile(filepath.Join(root, "testdata/x.go"), []byte("changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	afterTestdata, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterTestdata != k1 {
+		t.Error("testdata edit changed the key")
+	}
+
+	// A new .go file changes the key; go.mod edits too.
+	if err := os.WriteFile(filepath.Join(root, "a/new.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withNew, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withNew == k1 {
+		t.Error("new file did not change the key")
+	}
+}
+
+func TestCacheKeyTracksPatterns(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module example\n", "a/a.go": "package a\n"})
+	all, err := CacheKey(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := CacheKey(root, []string{"./a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == one {
+		t.Error("different patterns share a key")
+	}
+}
+
+func TestCachedResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := "0123456789abcdef"
+	diags := []string{"/m/a.go:3:1: result-bearing map iteration (nondeterm)", "/m/b.go:9:2: float in fixed-point path (floatfree)"}
+
+	if _, ok := LoadCachedResult(dir, key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := StoreCachedResult(dir, key, diags); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadCachedResult(dir, key)
+	if !ok || !reflect.DeepEqual(got, diags) {
+		t.Fatalf("round trip: ok=%v got=%v", ok, got)
+	}
+
+	// A clean run stores an empty (nil) diagnostic list and still hits.
+	if err := StoreCachedResult(dir, "clean", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = LoadCachedResult(dir, "clean")
+	if !ok || len(got) != 0 {
+		t.Fatalf("clean-run entry: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestCachedResultCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := "deadbeef"
+	if err := StoreCachedResult(dir, key, []string{"d"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadCachedResult(dir, key); ok {
+		t.Error("corrupt entry replayed")
+	}
+
+	// An entry recorded under a different key (hand-renamed file) is a miss.
+	if err := StoreCachedResult(dir, "othername", []string{"d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, "othername.json"), path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadCachedResult(dir, key); ok {
+		t.Error("key-mismatched entry replayed")
+	}
+}

@@ -178,6 +178,39 @@ func Build(name string, p Params) (*Workload, error) {
 	return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 }
 
+// EstimateFootprintBytes predicts Build(name, p).FootprintBytes() without
+// constructing the workload's data structures or access trace: it derives
+// the heap size from the same formulas the builders use and generates only
+// the (cheap) address-space layout. The estimate is exact for every known
+// workload — the Kronecker generator emits exactly V·degree edges and the
+// layout is a pure function of (pages, seed) — which is what lets shard
+// partitions computed on different hosts, and `lvmbench -list` cost
+// columns computed without any build, agree with the real footprints.
+func EstimateFootprintBytes(name string, p Params) (uint64, error) {
+	var heapPages int
+	var seedOff int64
+	switch name {
+	case "bfs", "dfs", "cc", "dc", "pr", "sssp":
+		v := uint64(1) << uint(p.GraphScale)
+		e := v * uint64(p.GraphDegree)
+		bytes := (v+1)*offStride + e*tgtStride + 2*v*propStride
+		heapPages = int(bytes>>addr.PageShift) + 2048
+		seedOff = 0
+	case "gups":
+		heapPages = int(p.GUPSTableBytes>>addr.PageShift) + 1024
+		seedOff = 1
+	case "mem$", "memcached":
+		heapPages = int(p.MemcachedBytes>>addr.PageShift) + 1024
+		seedOff = 2
+	case "MUMr", "mummer":
+		heapPages = int(p.MumerBytes>>addr.PageShift) + 1024
+		seedOff = 3
+	default:
+		return 0, fmt.Errorf("workload: %w %q", ErrUnknown, name)
+	}
+	return heapLayout(heapPages, p.Seed+seedOff).FootprintBytes(), nil
+}
+
 // Fig2Profiles returns the Figure-2 study set: a layout configuration per
 // application family, including the allocator variants. Every profile must
 // exhibit gap-1 coverage ≥ 0.78 (§3.1).

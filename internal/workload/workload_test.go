@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 
 	"lvm/internal/addr"
@@ -75,6 +76,30 @@ func TestAllWorkloadsBuild(t *testing.T) {
 		if w.FootprintBytes() == 0 {
 			t.Errorf("%s: empty footprint", name)
 		}
+	}
+}
+
+// The estimate must be exact, not approximate: shard assignment partitions
+// the run matrix by estimated cost on every participating host, and a host
+// that builds the workload must land on the same partition as one that
+// only estimates it.
+func TestEstimateFootprintExact(t *testing.T) {
+	p := QuickParams()
+	for _, name := range SpeedupNames() {
+		est, err := EstimateFootprintBytes(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		w, err := Build(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if est != w.FootprintBytes() {
+			t.Errorf("%s: estimated %d bytes, built %d", name, est, w.FootprintBytes())
+		}
+	}
+	if _, err := EstimateFootprintBytes("nope", p); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown workload: got %v, want ErrUnknown", err)
 	}
 }
 
