@@ -2,10 +2,14 @@ package main
 
 // Minimal implementation of the cmd/go vet-tool ("unitchecker") protocol,
 // enough for `go vet -vettool=lvmlint ./...`: cmd/go hands the tool one JSON
-// .cfg per package naming the source files and the export data of every
-// dependency; the tool type-checks from export data, runs the analyzers,
-// prints diagnostics to stderr, writes an (empty — lvmlint exports no facts)
-// facts file, and exits 2 when violations were found.
+// .cfg per package naming the source files, the export data of every
+// dependency, and the dependencies' fact files (PackageVetx); the tool
+// type-checks from export data, merges the imported facts, runs the full
+// analyzer suite (the whole-program analyzers see a one-package program
+// whose out-of-package calls are judged by the imported facts), writes its
+// own facts — this package's summaries plus everything imported, so facts
+// flow transitively in dependency order — to VetxOutput, prints
+// diagnostics to stderr, and exits 2 when violations were found.
 
 import (
 	"encoding/json"
@@ -17,6 +21,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"lvm/internal/lint"
 )
@@ -30,10 +35,18 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	GoVersion                 string
 	SucceedOnTypecheckFailure bool
+}
+
+// moduleInternal reports whether the package belongs to this module (and
+// therefore has facts worth computing even on VetxOnly visits).
+func moduleInternal(importPath string) bool {
+	p := lint.StripVariant(importPath)
+	return p == lint.ModulePath || strings.HasPrefix(p, lint.ModulePath+"/")
 }
 
 func runUnitchecker(cfgPath string) int {
@@ -47,14 +60,19 @@ func runUnitchecker(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "lvmlint:", err)
 		return 1
 	}
-	// lvmlint exports no facts, but cmd/go expects the facts file to exist.
+	// cmd/go expects the facts file to exist on every exit path; start
+	// with an empty one and overwrite it with real facts below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "lvmlint:", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
+	// A VetxOnly visit means "this package is a dependency of the named
+	// patterns": no diagnostics wanted, but module-internal packages must
+	// still export their facts or downstream hotalloc/snapshotpure
+	// frontier checks would run blind.
+	if cfg.VetxOnly && !moduleInternal(cfg.ImportPath) {
 		return 0
 	}
 
@@ -107,6 +125,7 @@ func runUnitchecker(cfgPath string) int {
 		return 1
 	}
 
+	imported := readImportedFacts(cfg)
 	pkg := &lint.Package{
 		PkgPath: lint.StripVariant(cfg.ImportPath),
 		Dir:     cfg.Dir,
@@ -115,7 +134,23 @@ func runUnitchecker(cfgPath string) int {
 		Types:   tpkg,
 		Info:    info,
 	}
-	diags := lint.Run(pkg, lint.Analyzers())
+	diags, facts := lint.RunSuite([]*lint.Package{pkg}, lint.Analyzers(), imported)
+
+	// Export this package's facts plus everything imported: cmd/go hands
+	// each package only its direct deps' vetx files, so transitive flow
+	// relies on every package re-exporting what it received.
+	if cfg.VetxOutput != "" {
+		merged := lint.NewFactSet()
+		merged.Merge(imported)
+		merged.Merge(facts)
+		if err := os.WriteFile(cfg.VetxOutput, merged.Encode(), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "lvmlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}
@@ -123,4 +158,26 @@ func runUnitchecker(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// readImportedFacts decodes every dependency fact file cmd/go supplied.
+// Unreadable or foreign (empty) files are skipped: facts degrade to the
+// assumption table, they never fail the run.
+func readImportedFacts(cfg vetConfig) *lint.FactSet {
+	merged := lint.NewFactSet()
+	for path, file := range cfg.PackageVetx {
+		if !moduleInternal(path) {
+			continue
+		}
+		b, err := os.ReadFile(file)
+		if err != nil || len(b) == 0 {
+			continue
+		}
+		fs, err := lint.DecodeFacts(b)
+		if err != nil {
+			continue
+		}
+		merged.Merge(fs)
+	}
+	return merged
 }

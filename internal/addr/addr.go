@@ -65,6 +65,7 @@ func (s PageSize) Bytes() uint64 {
 	case Page1G:
 		return PageSize1G
 	}
+	//lint:allow hotalloc panic guard, unreachable for the three valid sizes
 	panic(fmt.Sprintf("addr: invalid page size %d", s))
 }
 
@@ -141,6 +142,7 @@ const (
 // (4 = PGD/root ... 1 = PTE/leaf).
 func RadixIndex(v VPN, level int) int {
 	if level < 1 || level > RadixLevels {
+		//lint:allow hotalloc panic guard, unreachable for in-range levels
 		panic(fmt.Sprintf("addr: invalid radix level %d", level))
 	}
 	shift := uint((level - 1) * RadixBitsPerLevel)

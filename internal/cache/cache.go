@@ -101,6 +101,7 @@ func (l *level) fill(line uint64) {
 	idx := l.setIndex(line)
 	set := l.sets[idx]
 	if len(set) < l.cfg.Ways {
+		//lint:allow hotalloc append bounded by Ways; sets reach capacity during warmup and never grow again
 		set = append(set, 0)
 		copy(set[1:], set[:len(set)-1])
 		set[0] = line

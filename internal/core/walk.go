@@ -113,6 +113,7 @@ func (ix *Index) walkInto(res *WalkResult, v addr.VPN, retry1G bool) {
 	}
 	var stages [4]stage
 	nstages := 0
+	//lint:allow hotalloc non-escaping closure over a stack array, stack-allocated; TestStepZeroAllocs backstop
 	push := func(s stage) { stages[nstages] = s; nstages++ }
 	push(stage{v, 0})
 	if base != v {

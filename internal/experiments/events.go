@@ -51,7 +51,7 @@ func (NopSink) ExperimentDone(string, float64, error) {}
 // visible.
 type WriterSink struct {
 	mu sync.Mutex
-	w  io.Writer
+	w  io.Writer // guarded by mu
 }
 
 // NewWriterSink creates a sink writing progress lines to w.

@@ -124,8 +124,8 @@ type Runner struct {
 	sink Sink
 
 	mu   sync.Mutex
-	runs map[RunKey]*RunOutput
-	wls  map[string]*workload.Workload
+	runs map[RunKey]*RunOutput         // guarded by mu
+	wls  map[string]*workload.Workload // guarded by mu
 }
 
 // NewRunner creates a runner. Progress reporting defaults to NopSink

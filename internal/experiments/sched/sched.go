@@ -78,7 +78,7 @@ type budget struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	cap   uint64
-	inUse uint64
+	inUse uint64 // guarded by mu
 }
 
 func newBudget(cap uint64) *budget {

@@ -137,6 +137,7 @@ func (t *Table) SlotPA(i int) addr.PA {
 			return addr.SlotPA(e.base, uint64(i-e.start), SlotBytes)
 		}
 	}
+	//lint:allow hotalloc panic guard, unreachable while extents cover the table
 	panic(fmt.Sprintf("gapped: slot %d out of range (cap %d)", i, len(t.slots)))
 }
 
@@ -281,7 +282,10 @@ type LookupResult struct {
 func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 	p := t.clamp(pred)
 	res := LookupResult{Clusters: t.clusterScratch[:0]}
-	defer func() { t.clusterScratch = res.Clusters }()
+	// The defer and search closures below do not escape Lookup: the
+	// compiler stack-allocates them (TestStepZeroAllocs is the dynamic
+	// backstop).
+	defer func() { t.clusterScratch = res.Clusters }() //lint:allow hotalloc non-escaping closure, stack-allocated
 	startCluster := ClusterOf(p)
 	lastCluster := ClusterOf(len(t.slots) - 1)
 
@@ -290,6 +294,7 @@ func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 	// approximately sorted order (monotone build placement, nearest-slot
 	// inserts within InsertReach), so a cluster whose smallest tag already
 	// exceeds the target means the target cannot live above it.
+	//lint:allow hotalloc non-escaping closure, stack-allocated
 	checkCluster := func(c int) (e pte.Entry, slot int, found bool, minTag, maxTag addr.VPN, any bool) {
 		lo := c * pte.ClusterSlots
 		hi := lo + pte.ClusterSlots
@@ -323,6 +328,7 @@ func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 	prune := maxExtra <= 8
 	searchDown, searchUp := true, true
 	tag2M := addr.AlignDown(vpn, addr.Page2M)
+	//lint:allow hotalloc non-escaping closure, stack-allocated
 	visit := func(c, dist int) bool {
 		res.Accesses++
 		res.Clusters = append(res.Clusters, c)
@@ -380,13 +386,16 @@ func (t *Table) Lookup(pred int, vpn addr.VPN, maxExtra int) LookupResult {
 // O(log(slots)) cluster fetches, all counted.
 func (t *Table) LookupBinary(pred int, vpn addr.VPN) LookupResult {
 	res := LookupResult{Clusters: t.clusterScratch[:0]}
-	defer func() { t.clusterScratch = res.Clusters }()
+	// As in Lookup: the defer and search closures are non-escaping and
+	// stack-allocated.
+	defer func() { t.clusterScratch = res.Clusters }() //lint:allow hotalloc non-escaping closure, stack-allocated
 	if len(t.slots) == 0 {
 		return res
 	}
 	last := ClusterOf(len(t.slots) - 1)
 	home := ClusterOf(t.clamp(pred))
 
+	//lint:allow hotalloc non-escaping closure, stack-allocated
 	probe := func(c int, target addr.VPN) (found, below, above, empty bool) {
 		res.Accesses++
 		res.Clusters = append(res.Clusters, c)
@@ -419,6 +428,7 @@ func (t *Table) LookupBinary(pred int, vpn addr.VPN) LookupResult {
 		return false, maxTag < target, minTag > target, false
 	}
 
+	//lint:allow hotalloc non-escaping closure, stack-allocated
 	pass := func(target addr.VPN) bool {
 		lo, hi := 0, last
 		for hi-lo > 2 && res.Accesses < 64 {
@@ -432,7 +442,7 @@ func (t *Table) LookupBinary(pred int, vpn addr.VPN) LookupResult {
 				// the data for this key lies on the prediction's side.
 				decided := false
 				for k := 1; k <= 3 && res.Accesses < 60; k++ {
-					for _, c := range []int{mid + k, mid - k} {
+					for _, c := range [...]int{mid + k, mid - k} {
 						if c < lo || c > hi {
 							continue
 						}

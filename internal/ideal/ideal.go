@@ -53,7 +53,7 @@ func (t *Table) Map(v addr.VPN, e pte.Entry) {
 
 // Unmap removes a translation.
 func (t *Table) Unmap(v addr.VPN) bool {
-	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+	for _, s := range [...]addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
 		if _, ok := t.entries[addr.AlignDown(v, s)]; ok {
 			delete(t.entries, addr.AlignDown(v, s))
 			return true
@@ -64,7 +64,7 @@ func (t *Table) Unmap(v addr.VPN) bool {
 
 // Lookup is the software walk.
 func (t *Table) Lookup(v addr.VPN) (pte.Entry, bool) {
-	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+	for _, s := range [...]addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
 		if e, ok := t.entries[addr.AlignDown(v, s)]; ok && e.Size() == s {
 			return e, true
 		}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAllowBudget pins the number of //lint:allow suppressions per
+// analyzer to the audited budget in lint_allows.txt at the repo root. The
+// match is exact in both directions: a NEW suppression fails until its
+// audit is recorded by bumping the budget in the same PR (making the
+// escape valve reviewable), and a REMOVED suppression fails until the
+// budget is lowered (so the ratchet never silently loosens).
+func TestAllowBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and parses the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, pkg := range pkgs {
+		allows, _ := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range allows {
+			got[a.analyzer]++
+		}
+	}
+
+	want := map[string]int{}
+	data, err := os.ReadFile("../../lint_allows.txt")
+	if err != nil {
+		t.Fatalf("reading allow budget: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var n int
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &n); err != nil {
+			t.Fatalf("malformed budget line %q: %v", line, err)
+		}
+		want[name] = n
+	}
+
+	names := map[string]bool{}
+	for n := range got {
+		names[n] = true
+	}
+	for n := range want {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if got[n] != want[n] {
+			t.Errorf("analyzer %s: %d //lint:allow comments in the tree, budget says %d; audit the change and update lint_allows.txt", n, got[n], want[n])
+		}
+	}
+}

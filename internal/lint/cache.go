@@ -23,13 +23,14 @@ import (
 // module — lands on a new key.
 
 // resultCacheVersion invalidates the cache file layout itself; bump it
-// when cachedResult changes shape.
-const resultCacheVersion = 1
+// when cachedResult changes shape. v2 stores structured diagnostics so a
+// cached replay can serve both the human format and -json output.
+const resultCacheVersion = 2
 
 type cachedResult struct {
-	Version     int      `json:"version"`
-	Key         string   `json:"key"`
-	Diagnostics []string `json:"diagnostics"`
+	Version     int          `json:"version"`
+	Key         string       `json:"key"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
 }
 
 // DefaultCacheDir returns the on-disk location of the result cache:
@@ -106,7 +107,7 @@ func CacheKey(modRoot string, patterns []string) (string, error) {
 // LoadCachedResult returns the recorded diagnostics for key. Any problem
 // — absent file, unreadable file, corrupt JSON, layout or key mismatch —
 // is reported as a plain miss so the caller falls back to a full run.
-func LoadCachedResult(dir, key string) ([]string, bool) {
+func LoadCachedResult(dir, key string) ([]Diagnostic, bool) {
 	b, err := os.ReadFile(filepath.Join(dir, key+".json"))
 	if err != nil {
 		return nil, false
@@ -123,7 +124,7 @@ func LoadCachedResult(dir, key string) ([]string, bool) {
 
 // StoreCachedResult records a completed run under key, atomically (temp
 // file + rename) so a concurrent reader never sees a partial entry.
-func StoreCachedResult(dir, key string, diags []string) error {
+func StoreCachedResult(dir, key string, diags []Diagnostic) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

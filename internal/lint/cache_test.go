@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -107,7 +108,10 @@ func TestCacheKeyTracksPatterns(t *testing.T) {
 func TestCachedResultRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	key := "0123456789abcdef"
-	diags := []string{"/m/a.go:3:1: result-bearing map iteration (nondeterm)", "/m/b.go:9:2: float in fixed-point path (floatfree)"}
+	diags := []Diagnostic{
+		{Analyzer: "nondeterm", Pos: token.Position{Filename: "/m/a.go", Line: 3, Column: 1}, Message: "result-bearing map iteration"},
+		{Analyzer: "floatfree", Pos: token.Position{Filename: "/m/b.go", Line: 9, Column: 2}, Message: "float in fixed-point path"},
+	}
 
 	if _, ok := LoadCachedResult(dir, key); ok {
 		t.Fatal("hit on empty cache")
@@ -133,7 +137,7 @@ func TestCachedResultRoundTrip(t *testing.T) {
 func TestCachedResultCorruptionIsAMiss(t *testing.T) {
 	dir := t.TempDir()
 	key := "deadbeef"
-	if err := StoreCachedResult(dir, key, []string{"d"}); err != nil {
+	if err := StoreCachedResult(dir, key, []Diagnostic{{Message: "d"}}); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, key+".json")
@@ -145,7 +149,7 @@ func TestCachedResultCorruptionIsAMiss(t *testing.T) {
 	}
 
 	// An entry recorded under a different key (hand-renamed file) is a miss.
-	if err := StoreCachedResult(dir, "othername", []string{"d"}); err != nil {
+	if err := StoreCachedResult(dir, "othername", []Diagnostic{{Message: "d"}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Rename(filepath.Join(dir, "othername.json"), path); err != nil {

@@ -36,6 +36,12 @@ var FloatFree = &Analyzer{
 	Name: "floatfree",
 	Doc:  "flags float arithmetic in hardware-model hot paths (core walk/hw/insert, mmu, tlb) outside stats/reporting helpers",
 	Run:  runFloatFree,
+	// core counts as covered even though only its hot-path files are
+	// checked: the analyzer does look at the package, file by file.
+	Covers: func(path string) bool {
+		path = StripVariant(path)
+		return floatFreePkgs[path] || path == ModulePath+"/internal/core"
+	},
 }
 
 // reportingFunc reports whether a function name is an allowlisted

@@ -13,6 +13,23 @@
 //   - float-free hot paths (floatfree): the hardware walk path performs no
 //     floating-point arithmetic outside reporting helpers.
 //
+// On top of the per-package checks sits a whole-program layer (callgraph.go,
+// facts.go): a CHA-style cross-package call graph with per-function facts
+// (allocates / mutates-receiver / locks) that three interprocedural
+// analyzers consume:
+//
+//   - hotalloc: nothing reachable from the translate-then-access hot path
+//     (sim.step, CPU.translate, every scheme walker's Walk/WalkInto) may
+//     heap-allocate — the static seal over TestStepZeroAllocs;
+//   - syncsafe: concurrency discipline for the scheduler and experiment
+//     pipeline — no mutex copies, no untracked goroutines, and
+//     `// guarded by <mu>` fields only touched with the lock held;
+//   - snapshotpure: every Snapshot() metrics.Set implementation is
+//     read-only;
+//   - sortedfree: physical frames are never freed from inside a map
+//     iteration (collect-and-sort first), keeping the buddy allocator's
+//     state reproducible.
+//
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer / Pass /
 // Diagnostic) but is built entirely on the standard library's go/ast and
 // go/types so the module stays dependency-free.
@@ -39,7 +56,9 @@ import (
 // scope rules to specific packages.
 const ModulePath = "lvm"
 
-// An Analyzer describes one invariant checker.
+// An Analyzer describes one invariant checker. Exactly one of Run and
+// RunProgram is set: Run analyzers see one package at a time, RunProgram
+// analyzers see the whole loaded program (call graph + facts) at once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:allow comments.
 	Name string
@@ -47,6 +66,14 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports violations via pass.Report.
 	Run func(pass *Pass)
+	// RunProgram inspects the whole program at once.
+	RunProgram func(pass *ProgramPass)
+	// Covers reports whether the analyzer's scope includes the package.
+	// Analyzers that sweep everything leave it nil; path-scoped analyzers
+	// set it so the suite-wide scope-coverage test can prove that every
+	// package importing sim/mmu/metrics is policed by at least one of
+	// them.
+	Covers func(pkgPath string) bool
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -97,9 +124,148 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
-// Analyzers returns the full lvmlint suite in a stable order.
+// Analyzers returns the full lvmlint suite in a stable order. The order
+// is part of the result-cache key, so appending here invalidates stale
+// cached runs automatically.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FixedQ, AddrTypes, NonDeterm, FloatFree, NoPanic}
+	return []*Analyzer{
+		FixedQ, AddrTypes, NonDeterm, FloatFree, NoPanic,
+		HotAlloc, SyncSafe, SnapshotPure, SortedFree,
+	}
+}
+
+// A Program is the whole-program view handed to RunProgram analyzers: the
+// loaded packages, the CHA call graph over them, and the per-function
+// facts (local ∪ imported).
+type Program struct {
+	Packages []*Package
+	Graph    *Graph
+	// Facts holds the summaries computed for this program's functions,
+	// closed transitively over Imported.
+	Facts *FactSet
+	// Imported holds facts received from already-analyzed dependency
+	// packages (the vet-tool facts seam); empty in whole-module runs.
+	Imported *FactSet
+}
+
+// FactFor returns the best-known fact for a call target: a node's
+// computed fact, an imported fact, or the external assumption table.
+func (prog *Program) FactFor(id FuncID, ext ExtTarget) FuncFact {
+	if f, ok := prog.Facts.Lookup(id); ok {
+		return f
+	}
+	if f, ok := prog.Imported.Lookup(id); ok {
+		return f
+	}
+	return externalFact(prog.Imported, ext)
+}
+
+// NewProgram builds the graph and facts over pkgs. allowed filters
+// //lint:allow hotalloc sites out of the allocation facts; nil applies no
+// filtering.
+func NewProgram(pkgs []*Package, imported *FactSet, allowed func(pkg *Package, pos token.Pos) bool) *Program {
+	if imported == nil {
+		imported = NewFactSet()
+	}
+	g := BuildGraph(pkgs)
+	return &Program{
+		Packages: pkgs,
+		Graph:    g,
+		Facts:    ComputeFacts(g, pkgs, imported, allowed),
+		Imported: imported,
+	}
+}
+
+// A ProgramPass provides one program analyzer with the whole program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a violation at pos, resolved through pkg's FileSet.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunSuite applies the full analyzer set — per-package and whole-program —
+// to the loaded packages and returns the surviving diagnostics plus the
+// computed facts (for the vet driver to export). Suppression is uniform:
+// a //lint:allow in any package suppresses a diagnostic at that position
+// regardless of which mode produced it.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer, imported *FactSet) ([]Diagnostic, *FactSet) {
+	var perPkg, perProg []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			perProg = append(perProg, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+
+	var allAllows []*allow
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg.Fset, pkg.Files)
+		allAllows = append(allAllows, allows...)
+		out = append(out, malformed...)
+	}
+	allowedHot := func(pkg *Package, pos token.Pos) bool {
+		p := pkg.Fset.Position(pos)
+		for _, a := range allAllows {
+			if a.analyzer == HotAlloc.Name && a.file == p.Filename &&
+				(a.line == p.Line || a.line == p.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range perPkg {
+			pass := &Pass{
+				Analyzer: a,
+				PkgPath:  pkg.PkgPath,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			raw = append(raw, pass.diags...)
+		}
+	}
+
+	prog := NewProgram(pkgs, imported, allowedHot)
+	for _, a := range perProg {
+		pass := &ProgramPass{Analyzer: a, Prog: prog}
+		a.RunProgram(pass)
+		raw = append(raw, pass.diags...)
+	}
+
+	out = append(out, suppress(raw, allAllows)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, prog.Facts
 }
 
 // allow is one parsed //lint:allow comment.
@@ -170,12 +336,17 @@ func suppress(diags []Diagnostic, allows []*allow) []Diagnostic {
 	return kept
 }
 
-// Run applies the analyzers to one loaded package and returns the surviving
-// diagnostics plus any malformed-allow diagnostics, sorted by position.
+// Run applies the per-package analyzers to one loaded package and returns
+// the surviving diagnostics plus any malformed-allow diagnostics, sorted
+// by position. Whole-program analyzers in the list are skipped; use
+// RunSuite to run both kinds.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allows, malformed := collectAllows(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			PkgPath:  pkg.PkgPath,

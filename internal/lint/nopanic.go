@@ -37,9 +37,10 @@ func inNoPanicScope(path string) bool {
 // exempt, and genuinely unreachable invariants can carry a
 // //lint:allow nopanic <reason> suppression.
 var NoPanic = &Analyzer{
-	Name: "nopanic",
-	Doc:  "bans panic in simulator and experiment packages; propagate wrapped errors instead",
-	Run:  runNoPanic,
+	Name:   "nopanic",
+	Doc:    "bans panic in simulator and experiment packages; propagate wrapped errors instead",
+	Run:    runNoPanic,
+	Covers: func(path string) bool { return inNoPanicScope(StripVariant(path)) },
 }
 
 func runNoPanic(pass *Pass) {

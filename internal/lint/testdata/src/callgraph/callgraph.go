@@ -1,0 +1,62 @@
+// Package callgraph is a self-contained fixture for the call-graph and
+// facts unit tests: an interface with two implementations (CHA dispatch),
+// a static call chain (reachability, Path rendering, and fact
+// propagation), a mutating helper chain, and a lock-taking method.
+package callgraph
+
+import "sync"
+
+// Shape has two in-package implementations; a call through it must
+// resolve to both by class-hierarchy analysis.
+type Shape interface {
+	Area() int
+}
+
+type Square struct{ s int }
+
+func (q Square) Area() int { return q.s * q.s }
+
+type Circle struct{ r int }
+
+func (c *Circle) Area() int { return c.r * c.r * 3 }
+
+// total dispatches through the interface.
+func total(shapes []Shape) int {
+	n := 0
+	for _, s := range shapes {
+		n += s.Area()
+	}
+	return n
+}
+
+// entry → total → {Square.Area, Circle.Area}; alloc is NOT reachable
+// from here.
+func entry() int { return total(nil) }
+
+// alloc heap-allocates directly.
+func alloc() []int { return make([]int, 4) }
+
+// callsAlloc allocates only transitively; the fixpoint must propagate.
+func callsAlloc() []int { return alloc() }
+
+// counter exercises the Mutates and Locks facts.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump writes through the receiver directly.
+func (c *counter) bump() { c.n++ }
+
+// bumpTwice mutates only via a receiver-rooted call to bump.
+func (c *counter) bumpTwice() { c.bump(); c.bump() }
+
+// locked acquires the mutex directly.
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// viaLocked locks only transitively.
+func (c *counter) viaLocked() int { return c.locked() }

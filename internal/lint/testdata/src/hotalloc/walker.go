@@ -1,0 +1,49 @@
+// Package hotalloc seeds hot-path allocation violations. Loaded as
+// lvm/internal/radix, the Walker below implements mmu.Walker, so its Walk
+// method is a traversal root; everything reachable from it is scanned and
+// frontier calls are judged by facts.
+package hotalloc
+
+import (
+	"fmt"
+
+	"lvm/internal/addr"
+	"lvm/internal/mmu"
+)
+
+// Walker implements mmu.Walker; Walk is a hotalloc root.
+type Walker struct {
+	buf   mmu.WalkBuf
+	trace []addr.PA
+}
+
+// Name implements mmu.Walker.
+func (w *Walker) Name() string { return "golden" }
+
+// Walk mixes the clean reuse discipline with seeded violations.
+func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	w.buf.Reset()
+	w.buf.AddGroup(addr.PA(v))       // clean: reuse-disciplined buffer
+	scratch := make([]addr.PA, 0, 4) // want `hot-path allocation: make\(\[\].*addr\.PA\) allocates`
+	_ = scratch
+	w.trace = append(w.trace, addr.PA(v)) // want `self-append to w\.trace with no \[:0\] reset`
+	w.describe(v)
+	w.audited()
+	return w.buf.Outcome(0, false, mmu.StepCycles)
+}
+
+// describe is reachable only through Walk; its stdlib call is judged at
+// the frontier by the assumption table, and the argument boxes.
+func (w *Walker) describe(v addr.VPN) {
+	_ = fmt.Sprint(uint64(v)) // want `call to fmt\.Sprint, which allocates` `boxes`
+}
+
+// audited carries a reviewed suppression — silent.
+func (w *Walker) audited() {
+	_ = make([]int, 1) //lint:allow hotalloc golden-test audited exception
+}
+
+// cold is unreachable from any root: allocating here is fine.
+func (w *Walker) cold() []addr.PA {
+	return make([]addr.PA, 8)
+}

@@ -1,0 +1,43 @@
+// Package hotalloc_reset is the Reset-deletion mutation case: Good keeps
+// the `x = x[:0]` reuse discipline and stays silent; Bad is Good with the
+// truncation deleted, which must fire — the self-append is then unbounded
+// growth on the hot path.
+package hotalloc_reset
+
+import (
+	"lvm/internal/addr"
+	"lvm/internal/mmu"
+)
+
+// Good truncates pas in Reset, so the self-append in Walk reuses the
+// backing array — silent.
+type Good struct {
+	pas []addr.PA
+}
+
+// Reset clears the buffer, retaining capacity.
+func (g *Good) Reset() { g.pas = g.pas[:0] }
+
+// Name implements mmu.Walker.
+func (g *Good) Name() string { return "good" }
+
+// Walk implements mmu.Walker.
+func (g *Good) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	g.Reset()
+	g.pas = append(g.pas, addr.PA(v))
+	return mmu.Outcome{}
+}
+
+// Bad is Good with the Reset truncation deleted.
+type Bad struct {
+	pas []addr.PA
+}
+
+// Name implements mmu.Walker.
+func (b *Bad) Name() string { return "bad" }
+
+// Walk implements mmu.Walker.
+func (b *Bad) Walk(asid uint16, v addr.VPN) mmu.Outcome {
+	b.pas = append(b.pas, addr.PA(v)) // want `self-append to b\.pas with no \[:0\] reset`
+	return mmu.Outcome{}
+}

@@ -1,0 +1,72 @@
+// Package snapshotpure seeds Snapshot() metrics.Set implementations with
+// side effects: a counter increment, a map delete, a closure write, and a
+// receiver-rooted call to a mutating helper. pure stays silent.
+package snapshotpure
+
+import "lvm/internal/metrics"
+
+// pure is a correct, read-only Snapshot — silent.
+type pure struct {
+	hits uint64
+}
+
+// Snapshot implements metrics.Source.
+func (p *pure) Snapshot() metrics.Set {
+	var s metrics.Set
+	s.Counter("hits", p.hits)
+	return s
+}
+
+// comp counts its own observations — the increment is the violation.
+type comp struct {
+	calls uint64
+}
+
+// Snapshot implements metrics.Source.
+func (c *comp) Snapshot() metrics.Set {
+	c.calls++ // want `Snapshot must be read-only: writes c\.calls`
+	var s metrics.Set
+	s.Counter("calls", c.calls)
+	return s
+}
+
+// table prunes stale rows while observing — the delete is the violation.
+type table struct {
+	rows map[string]uint64
+}
+
+// Snapshot implements metrics.Source.
+func (t *table) Snapshot() metrics.Set {
+	delete(t.rows, "stale") // want `Snapshot must be read-only: deletes from t\.rows`
+	var s metrics.Set
+	return s
+}
+
+// agg resets itself through a closure — receiver writes in closures count.
+type agg struct {
+	n uint64
+}
+
+// Snapshot implements metrics.Source.
+func (a *agg) Snapshot() metrics.Set {
+	f := func() { a.n = 0 } // want `Snapshot must be read-only: writes a\.n`
+	f()
+	var s metrics.Set
+	return s
+}
+
+// lazy rebuilds cached state on observation — the helper call is judged by
+// its MutatesReceiver fact.
+type lazy struct {
+	cached uint64
+}
+
+func (l *lazy) fill() { l.cached = 1 }
+
+// Snapshot implements metrics.Source.
+func (l *lazy) Snapshot() metrics.Set {
+	l.fill() // want `calls .*fill, which mutates its receiver`
+	var s metrics.Set
+	s.Counter("cached", l.cached)
+	return s
+}

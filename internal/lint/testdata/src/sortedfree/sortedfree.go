@@ -1,0 +1,40 @@
+// Package sortedfree seeds frame frees inside map iterations. drain shows
+// the sanctioned collect-sort-free idiom and stays silent; the nested case
+// checks that one free inside two map ranges reports exactly once.
+package sortedfree
+
+import (
+	"sort"
+
+	"lvm/internal/addr"
+	"lvm/internal/phys"
+)
+
+// scramble frees in randomized map order — the violation.
+func scramble(mem *phys.Memory, pages map[addr.VPN]addr.PPN) {
+	for _, p := range pages {
+		mem.Free(p, 0) // want `freeing frames inside a map iteration`
+	}
+}
+
+// scrambleNested must report the inner free exactly once, not once per
+// enclosing range.
+func scrambleNested(mem *phys.Memory, procs map[int]map[addr.VPN]addr.PPN) {
+	for _, pages := range procs {
+		for _, p := range pages {
+			mem.Free(p, 0) // want `freeing frames inside a map iteration`
+		}
+	}
+}
+
+// drain collects the keys, sorts, then frees — the oskernel.Kill idiom.
+func drain(mem *phys.Memory, pages map[addr.VPN]addr.PPN) {
+	vpns := make([]addr.VPN, 0, len(pages))
+	for v := range pages {
+		vpns = append(vpns, v)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, v := range vpns {
+		mem.Free(pages[v], 0)
+	}
+}

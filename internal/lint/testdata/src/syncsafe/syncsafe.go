@@ -1,0 +1,94 @@
+// Package syncsafe seeds concurrency-discipline violations for all three
+// rules: lock copies, untracked goroutines, and `// guarded by` breaches.
+package syncsafe
+
+import "sync"
+
+// wgPool transitively contains a sync primitive; copying it by value
+// guards nothing.
+type wgPool struct {
+	wg sync.WaitGroup
+}
+
+func byValue(p wgPool) {} // want `byValue passes a lock by value: wgPool contains a sync primitive`
+
+func byPointer(p *wgPool) {} // silent: sharing a pointer is the point
+
+func assign(p *wgPool) {
+	dup := *p // want `assignment copies \*p, which contains a sync primitive`
+	_ = dup   // want `assignment copies dup, which contains a sync primitive`
+}
+
+func rangeCopy(ps []wgPool) int {
+	n := 0
+	for _, p := range ps { // want `range copies element values that contain a sync primitive`
+		_ = p // want `assignment copies p, which contains a sync primitive`
+		n++
+	}
+	for i := range ps { // silent: index ranging copies nothing
+		_ = i
+	}
+	return n
+}
+
+func spawnTracked(work func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // silent: Done ties the goroutine to its spawner
+		defer wg.Done()
+		work()
+	}()
+	return &wg
+}
+
+func spawnChan(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() { // silent: the channel send signals completion
+		work()
+		done <- struct{}{}
+	}()
+	return done
+}
+
+func spawnUntracked(work func()) {
+	go work() // want `goroutine has no completion signal`
+}
+
+// counters carries the guarded-field annotation under test.
+type counters struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// get locks the named guard — silent.
+func (c *counters) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// getLocked documents the caller-holds-lock contract — silent.
+func (c *counters) getLocked() int { return c.n }
+
+// peek reads the guarded field without the lock.
+func (c *counters) peek() int {
+	return c.n // want `field n is // guarded by mu, but peek accesses it without locking mu`
+}
+
+// gauge exercises the Locks-fact path: refresh never touches mu directly
+// but calls a helper that does.
+type gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+func (g *gauge) lockAndClear() {
+	g.mu.Lock()
+	g.val = 0
+	g.mu.Unlock()
+}
+
+// refresh holds the lock through the helper's Locks fact — silent.
+func (g *gauge) refresh() {
+	g.lockAndClear()
+}

@@ -1,0 +1,16 @@
+// Package syncsafe_unscoped carries syncsafe violations but is loaded as a
+// hardware-model package (single-threaded by design), where the analyzer
+// stays silent.
+package syncsafe_unscoped
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func byValue(p pool) {} // silent outside the goroutine-running packages
+
+func spawn(work func()) {
+	go work() // silent outside the goroutine-running packages
+}

@@ -238,6 +238,7 @@ func (c *lruCache[K]) insert(key K, asid uint16) {
 	}
 	var i int32
 	if len(c.nodes) < c.capacity {
+		//lint:allow hotalloc append bounded by capacity; nodes fill during warmup then recycle via LRU tail
 		c.nodes = append(c.nodes, lruNode[K]{})
 		i = int32(len(c.nodes) - 1)
 	} else {

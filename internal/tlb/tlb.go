@@ -95,6 +95,7 @@ func (t *TLB) Insert(asid uint16, v addr.VPN, e pte.Entry) {
 	}
 	ne := entry{valid: true, asid: asid, tag: tag, e: e}
 	if len(set) < t.ways {
+		//lint:allow hotalloc append bounded by ways; sets reach capacity during warmup and never grow again
 		set = append(set, entry{})
 		copy(set[1:], set[:len(set)-1])
 		set[0] = ne
