@@ -62,6 +62,8 @@ func main() {
 	shard := flag.String("shard", "", "execute only shard i/n of the run matrix (deterministic cost-balanced partition) and write a partial document to -json")
 	merge := flag.String("merge", "", "comma-separated shard documents to recombine; computes tables exactly as an unsharded run would")
 	cacheDir := flag.String("cache", "", "persistent run-output cache directory; completed runs are stored there and warm sweeps skip their simulations")
+	warmup := flag.Int("warmup", 0, "fast-forward the first N accesses of every run through functional state before measuring (changes measured counters; part of the run key and config fingerprint)")
+	batch := flag.Int("batch", 0, "translation pipeline chunk size; pure performance knob, every value produces bit-identical output (0 = default, 1 = scalar path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the sweep to this path")
 	flag.Parse()
@@ -117,6 +119,8 @@ func main() {
 		shard:     *shard,
 		merge:     *merge,
 		cacheDir:  *cacheDir,
+		warmup:    *warmup,
+		batch:     *batch,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "lvmbench: %v\n", err)
 		os.Exit(1)
@@ -135,6 +139,8 @@ type options struct {
 	shard     string
 	merge     string
 	cacheDir  string
+	warmup    int
+	batch     int
 }
 
 func run(o options) error {
@@ -152,6 +158,8 @@ func run(o options) error {
 	if o.quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Warmup = o.warmup
+	cfg.Sim.BatchSize = o.batch
 
 	var keys []string
 	if o.only != "" {

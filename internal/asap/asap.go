@@ -119,11 +119,32 @@ func (t *Table) Release() {
 // Walker is the ASAP hardware walker: a radix walker plus the prefetcher.
 type Walker struct {
 	tables map[uint16]*Table
-	rad    *radix.Walker
+	// lastASID/lastTable memoize the most recent tables lookup so batched
+	// walks skip the map per access; Attach/Detach invalidate it.
+	lastASID  uint16
+	lastTable *Table
+	rad       *radix.Walker
 	// buf is the reusable walk-trace buffer for prefetchable walks; the
 	// embedded radix walker appends into it directly, so composing the
 	// prefetches with the validating walk never copies a trace.
 	buf mmu.WalkBuf
+
+	// plans queue the VMA decisions recorded by Lookup, consumed in order
+	// by WalkBatch; the embedded radix walker queues the matching walk
+	// plans (see the mmu.Lookuper contract).
+	plans    []plan
+	planPos  int
+	planASID uint16
+}
+
+// plan is one functional lookup's record: whether the VMA is prefetchable
+// and, if so, the two flat prefetch PAs. The translation itself is planned
+// by the embedded radix walker.
+type plan struct {
+	vpn      addr.VPN
+	noTable  bool
+	prefetch bool
+	pt, pmd  addr.PA
 }
 
 // NewWalker creates the walker (radix PWC sizing from Table 1).
@@ -134,13 +155,27 @@ func NewWalker() *Walker {
 // Attach registers a table under an ASID.
 func (w *Walker) Attach(asid uint16, t *Table) {
 	w.tables[asid] = t
+	w.lastTable = nil
 	w.rad.Attach(asid, t.Radix)
 }
 
 // Detach removes a process's table (and its radix walker state).
 func (w *Walker) Detach(asid uint16) {
 	delete(w.tables, asid)
+	w.lastTable = nil
 	w.rad.Detach(asid)
+}
+
+// table resolves an ASID's table through the one-entry memo.
+func (w *Walker) table(asid uint16) (*Table, bool) {
+	if w.lastTable != nil && w.lastASID == asid {
+		return w.lastTable, true
+	}
+	t, ok := w.tables[asid]
+	if ok {
+		w.lastASID, w.lastTable = asid, t
+	}
+	return t, ok
 }
 
 // Name implements mmu.Walker.
@@ -157,7 +192,7 @@ var _ metrics.Source = (*Walker)(nil)
 // group: latency collapses to the slowest single request, but the traffic
 // is the radix walk plus two.
 func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
-	t, ok := w.tables[asid]
+	t, ok := w.table(asid)
 	if !ok {
 		return mmu.Outcome{}
 	}
@@ -175,4 +210,75 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	return w.rad.WalkInto(&w.buf, asid, v)
 }
 
+// Lookup implements mmu.Lookuper: record the VMA decision (and prefetch
+// PAs) here, and delegate the translation to the embedded radix walker's
+// Lookup so its plan queue stays aligned with ours.
+func (w *Walker) Lookup(asid uint16, v addr.VPN) (pte.Entry, bool) {
+	if w.planASID != asid {
+		w.plans = w.plans[:0]
+		w.planPos = 0
+		w.planASID = asid
+		w.rad.FlushPlans()
+	}
+	var p plan
+	p.vpn = v
+	t, ok := w.table(asid)
+	if !ok {
+		p.noTable = true
+		//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+		w.plans = append(w.plans, p)
+		return 0, false
+	}
+	if vm := t.vmaFor(v); vm != nil && vm.prefetchable {
+		p.prefetch = true
+		p.pt = addr.SlotPA(vm.ptBase, uint64(v-vm.lo), pte.Bytes)
+		p.pmd = addr.SlotPA(vm.pmdBase, uint64(v-vm.lo)/512, pte.Bytes)
+	}
+	//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+	w.plans = append(w.plans, p)
+	return w.rad.Lookup(asid, v)
+}
+
+// WalkBatch implements mmu.BatchWalker: seed each slot with its planned
+// prefetches and let the embedded radix walker replay (or recompute) the
+// validating walk into the same buffer, then drain both plan queues.
+func (w *Walker) WalkBatch(asid uint16, vpns []addr.VPN, bufs *mmu.WalkBatchBuf) {
+	bufs.Reset(len(vpns))
+	for i, v := range vpns {
+		b := bufs.Buf(i)
+		if w.planPos < len(w.plans) && asid == w.planASID && w.plans[w.planPos].vpn == v {
+			p := &w.plans[w.planPos]
+			w.planPos++
+			if p.noTable {
+				bufs.SetOutcome(i, mmu.Outcome{})
+				continue
+			}
+			if p.prefetch {
+				b.Collapse()
+				b.Add(p.pt)
+				b.Add(p.pmd)
+			}
+			bufs.SetOutcome(i, w.rad.WalkNextInto(b, asid, v))
+			continue
+		}
+		// Mismatch fallback: recompute the VMA decision and walk fresh.
+		t, ok := w.table(asid)
+		if !ok {
+			bufs.SetOutcome(i, mmu.Outcome{})
+			continue
+		}
+		if vm := t.vmaFor(v); vm != nil && vm.prefetchable {
+			b.Collapse()
+			b.Add(addr.SlotPA(vm.ptBase, uint64(v-vm.lo), pte.Bytes))
+			b.Add(addr.SlotPA(vm.pmdBase, uint64(v-vm.lo)/512, pte.Bytes))
+		}
+		bufs.SetOutcome(i, w.rad.WalkNextInto(b, asid, v))
+	}
+	w.plans = w.plans[:0]
+	w.planPos = 0
+	w.rad.FlushPlans()
+}
+
 var _ mmu.Walker = (*Walker)(nil)
+var _ mmu.BatchWalker = (*Walker)(nil)
+var _ mmu.Lookuper = (*Walker)(nil)

@@ -44,10 +44,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// noLine is the empty-way sentinel: line tags are PA/LineBytes, so no
+// reachable physical address can produce it.
+const noLine = ^uint64(0)
+
 type level struct {
-	cfg   LevelConfig
-	sets  [][]uint64 // line tags, most-recent-first
-	nsets int
+	cfg  LevelConfig
+	slab []uint64 // nsets × Ways line tags, most-recent-first per set
+	// ways mirrors cfg.Ways; nsets the set count — kept flat so the lookup
+	// hot path indexes the contiguous slab without pointer-chasing per-set
+	// slice headers.
+	ways, nsets int
 
 	demandHits, demandMisses stats.Counter
 	walkHits, walkMisses     stats.Counter
@@ -59,9 +66,9 @@ func newLevel(cfg LevelConfig) *level {
 		//lint:allow nopanic compile-time geometry from sim.Config, never reachable from run inputs
 		panic("cache: set count must be a positive power of two")
 	}
-	l := &level{cfg: cfg, nsets: nsets, sets: make([][]uint64, nsets)}
-	for i := range l.sets {
-		l.sets[i] = make([]uint64, 0, cfg.Ways)
+	l := &level{cfg: cfg, ways: cfg.Ways, nsets: nsets, slab: make([]uint64, nsets*cfg.Ways)}
+	for i := range l.slab {
+		l.slab[i] = noLine
 	}
 	return l
 }
@@ -76,7 +83,8 @@ func (l *level) setIndex(line uint64) int {
 }
 
 func (l *level) lookup(line uint64, walk bool) bool {
-	set := l.sets[l.setIndex(line)]
+	base := l.setIndex(line) * l.ways
+	set := l.slab[base : base+l.ways]
 	for i, tag := range set {
 		if tag == line {
 			copy(set[1:i+1], set[:i])
@@ -98,17 +106,9 @@ func (l *level) lookup(line uint64, walk bool) bool {
 }
 
 func (l *level) fill(line uint64) {
-	idx := l.setIndex(line)
-	set := l.sets[idx]
-	if len(set) < l.cfg.Ways {
-		//lint:allow hotalloc append bounded by Ways; sets reach capacity during warmup and never grow again
-		set = append(set, 0)
-		copy(set[1:], set[:len(set)-1])
-		set[0] = line
-		l.sets[idx] = set
-		return
-	}
-	copy(set[1:], set[:len(set)-1])
+	base := l.setIndex(line) * l.ways
+	set := l.slab[base : base+l.ways]
+	copy(set[1:], set[:l.ways-1])
 	set[0] = line
 }
 

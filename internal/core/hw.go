@@ -4,6 +4,7 @@ import (
 	"lvm/internal/addr"
 	"lvm/internal/metrics"
 	"lvm/internal/mmu"
+	"lvm/internal/pte"
 )
 
 // HWWalker is LVM's hardware page table walker (paper §4.6.2, Fig. 7): on
@@ -23,6 +24,38 @@ type HWWalker struct {
 	// buf is the reusable walk-trace buffer; Walk outcomes view it and
 	// stay valid until the next Walk.
 	buf mmu.WalkBuf
+
+	// lastASID/lastAt memoize the most recent indexes lookup so batched
+	// walks skip the map per access; Attach/Detach invalidate it.
+	lastASID uint16
+	lastAt   attachment
+	hasLast  bool
+
+	// plans queue the walk plans recorded by Lookup, consumed in order by
+	// WalkBatch (see the mmu.Lookuper contract). Index.Walk returns slices
+	// viewing the index's reusable scratch, so Lookup copies each result's
+	// nodes and cluster PAs into the walker-owned flat arrays below.
+	plans      []walkPlan
+	planNodes  []NodeRef
+	planPTEPAs []addr.PA
+	planPos    int
+	planASID   uint16
+	// reconciled marks that OS retrain/rebuild events were already applied
+	// for the current batch; within one batch nothing mutates the index
+	// (Index.Walk only bumps SearchOverflows, which reconcile ignores), so
+	// one reconcile per batch equals the scalar per-walk reconcile.
+	reconciled bool
+}
+
+// walkPlan is one functional traversal's record: offsets into the shared
+// planNodes/planPTEPAs scratch plus the resolved entry.
+type walkPlan struct {
+	vpn              addr.VPN
+	noIndex          bool
+	nodeOff, nodeEnd int32
+	pteOff, pteEnd   int32
+	entry            pte.Entry
+	found            bool
 }
 
 type attachment struct {
@@ -46,12 +79,14 @@ func NewHWWalker(lwcEntries int) *HWWalker {
 // Attach registers a process's learned index under an ASID.
 func (w *HWWalker) Attach(asid uint16, ix *Index) {
 	w.indexes[asid] = attachment{ix: ix}
+	w.hasLast = false
 }
 
 // AttachNormalized registers an index together with the ASLR normalization
 // the OS exposed through base registers (§5.2).
 func (w *HWWalker) AttachNormalized(asid uint16, ix *Index, norm func(addr.VPN) addr.VPN) {
 	w.indexes[asid] = attachment{ix: ix, norm: norm}
+	w.hasLast = false
 }
 
 // Detach removes a process's index and flushes its LWC entries (process
@@ -61,8 +96,21 @@ func (w *HWWalker) Detach(asid uint16) {
 	delete(w.lastRetrains, asid)
 	delete(w.lastRebuilds, asid)
 	delete(w.lastLazy, asid)
+	w.hasLast = false
 	w.lwc.FlushASID(asid)
 	w.flushes++
+}
+
+// attachmentFor resolves an ASID's attachment through the one-entry memo.
+func (w *HWWalker) attachmentFor(asid uint16) (attachment, bool) {
+	if w.hasLast && w.lastASID == asid {
+		return w.lastAt, true
+	}
+	at, ok := w.indexes[asid]
+	if ok {
+		w.lastASID, w.lastAt, w.hasLast = asid, at, true
+	}
+	return at, ok
 }
 
 // Name implements mmu.Walker.
@@ -87,7 +135,14 @@ var _ metrics.Source = (*HWWalker)(nil)
 
 // Walk implements mmu.Walker.
 func (w *HWWalker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
-	at, ok := w.indexes[asid]
+	w.buf.Reset()
+	return w.walkInto(&w.buf, asid, v)
+}
+
+// walkInto is Walk's engine over a caller-supplied (already reset) buffer,
+// so the batch path's mismatch fallback can walk into a slot buffer.
+func (w *HWWalker) walkInto(b *mmu.WalkBuf, asid uint16, v addr.VPN) mmu.Outcome {
+	at, ok := w.attachmentFor(asid)
 	if !ok {
 		return mmu.Outcome{}
 	}
@@ -97,20 +152,106 @@ func (w *HWWalker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 		v = at.norm(v)
 	}
 	r := ix.Walk(v)
-	w.buf.Reset()
 	wcc := 0
 	for _, n := range r.Nodes {
 		wcc += mmu.StepCycles
 		if !w.lwc.Lookup(asid, n.Level, n.Offset) {
 			// Fetch the 64-byte line holding the node from memory.
-			w.buf.AddGroup(n.PA)
+			b.AddGroup(n.PA)
 			w.lwc.Insert(asid, n.Level, n.Offset)
 		}
 	}
 	for _, pa := range r.PTEPAs {
-		w.buf.AddGroup(pa)
+		b.AddGroup(pa)
 	}
-	return w.buf.Outcome(r.Entry, r.Found, wcc)
+	return b.Outcome(r.Entry, r.Found, wcc)
+}
+
+// Lookup implements mmu.Lookuper: one Index.Walk resolves the translation
+// and its plan — the node chain and cluster PAs — which Lookup copies into
+// walker-owned scratch for the following WalkBatch to replay (Index.Walk's
+// result views index scratch valid only until the next Walk, and it
+// mutates the search-overflow counter, so it must run exactly once per
+// miss). OS retrain/rebuild reconciliation runs once per batch; see the
+// reconciled field for why that equals the scalar per-walk reconcile.
+func (w *HWWalker) Lookup(asid uint16, v addr.VPN) (pte.Entry, bool) {
+	if w.planASID != asid {
+		w.drainPlans(asid)
+	}
+	var p walkPlan
+	p.vpn = v
+	at, ok := w.attachmentFor(asid)
+	if !ok {
+		p.noIndex = true
+		//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+		w.plans = append(w.plans, p)
+		return 0, false
+	}
+	if !w.reconciled {
+		w.reconcile(asid, at.ix)
+		w.reconciled = true
+	}
+	nv := v
+	if at.norm != nil {
+		nv = at.norm(v)
+	}
+	r := at.ix.Walk(nv)
+	p.nodeOff = int32(len(w.planNodes))
+	//lint:allow hotalloc plan scratch grows to the batch's trace volume once, then recycles
+	w.planNodes = append(w.planNodes, r.Nodes...)
+	p.nodeEnd = int32(len(w.planNodes))
+	p.pteOff = int32(len(w.planPTEPAs))
+	//lint:allow hotalloc plan scratch grows to the batch's trace volume once, then recycles
+	w.planPTEPAs = append(w.planPTEPAs, r.PTEPAs...)
+	p.pteEnd = int32(len(w.planPTEPAs))
+	p.entry, p.found = r.Entry, r.Found
+	//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+	w.plans = append(w.plans, p)
+	return p.entry, p.found
+}
+
+// WalkBatch implements mmu.BatchWalker: replay the plans recorded by the
+// preceding Lookup sequence — the LWC lookups and fills run live, in
+// arrival order, against walker-owned copies of each walk's node chain —
+// falling back to fresh walks on mismatch, then drain the plan queue.
+func (w *HWWalker) WalkBatch(asid uint16, vpns []addr.VPN, bufs *mmu.WalkBatchBuf) {
+	bufs.Reset(len(vpns))
+	for i, v := range vpns {
+		b := bufs.Buf(i)
+		if w.planPos < len(w.plans) && asid == w.planASID && w.plans[w.planPos].vpn == v {
+			p := &w.plans[w.planPos]
+			w.planPos++
+			if p.noIndex {
+				bufs.SetOutcome(i, mmu.Outcome{})
+				continue
+			}
+			wcc := 0
+			for _, n := range w.planNodes[p.nodeOff:p.nodeEnd] {
+				wcc += mmu.StepCycles
+				if !w.lwc.Lookup(asid, n.Level, n.Offset) {
+					b.AddGroup(n.PA)
+					w.lwc.Insert(asid, n.Level, n.Offset)
+				}
+			}
+			for _, pa := range w.planPTEPAs[p.pteOff:p.pteEnd] {
+				b.AddGroup(pa)
+			}
+			bufs.SetOutcome(i, b.Outcome(p.entry, p.found, wcc))
+			continue
+		}
+		bufs.SetOutcome(i, w.walkInto(b, asid, v))
+	}
+	w.drainPlans(asid)
+}
+
+// drainPlans clears the plan queue and scratch for a new batch.
+func (w *HWWalker) drainPlans(asid uint16) {
+	w.plans = w.plans[:0]
+	w.planNodes = w.planNodes[:0]
+	w.planPTEPAs = w.planPTEPAs[:0]
+	w.planPos = 0
+	w.planASID = asid
+	w.reconciled = false
 }
 
 // reconcile applies OS-side retrain/rebuild events to the LWC: a retrain
@@ -146,3 +287,5 @@ func (w *HWWalker) reconcile(asid uint16, ix *Index) {
 }
 
 var _ mmu.Walker = (*HWWalker)(nil)
+var _ mmu.BatchWalker = (*HWWalker)(nil)
+var _ mmu.Lookuper = (*HWWalker)(nil)

@@ -343,12 +343,37 @@ func (t *Table) Release() {
 // Walker is the hardware ECPT walker with a CWC.
 type Walker struct {
 	tables map[uint16]*Table
+	// lastASID/lastTable memoize the most recent tables lookup so batched
+	// walks skip the map per access; Attach/Detach invalidate it.
+	lastASID  uint16
+	lastTable *Table
 	// cwcPMD caches CWT entries at 2MB-region granularity; cwcPUD at
 	// 1GB-region granularity (Table 1: 16 and 2 entries).
 	cwcPMD, cwcPUD *mmu.PWC
 	// buf is the reusable walk-trace buffer; Walk outcomes view it and
 	// stay valid until the next Walk.
 	buf mmu.WalkBuf
+
+	// plans queue the walk plans recorded by Lookup, consumed in order by
+	// WalkBatch (see the mmu.Lookuper contract).
+	plans    []plan
+	planPos  int
+	planASID uint16
+}
+
+// plan is one functional lookup's record: the CWT entry location and the
+// way-probe PAs of every indicated page-size table, computed with a single
+// hash per way (the scalar Walk hashes twice: once for the probe trace,
+// once for the match). The replay adds the live CWC probes.
+type plan struct {
+	vpn     addr.VPN
+	noTable bool
+	region  uint64
+	cwtPA   addr.PA
+	probes  [2 * Ways]addr.PA
+	nprobe  int8
+	entry   pte.Entry
+	found   bool
 }
 
 // NewWalker creates the walker with Table-1 CWC sizing.
@@ -361,14 +386,30 @@ func NewWalker() *Walker {
 }
 
 // Attach registers a process's ECPT under an ASID.
-func (w *Walker) Attach(asid uint16, t *Table) { w.tables[asid] = t }
+func (w *Walker) Attach(asid uint16, t *Table) {
+	w.tables[asid] = t
+	w.lastTable = nil
+}
 
 // Detach removes a process's table and flushes its CWC entries (process
 // exit).
 func (w *Walker) Detach(asid uint16) {
 	delete(w.tables, asid)
+	w.lastTable = nil
 	w.cwcPMD.FlushASID(asid)
 	w.cwcPUD.FlushASID(asid)
+}
+
+// table resolves an ASID's table through the one-entry memo.
+func (w *Walker) table(asid uint16) (*Table, bool) {
+	if w.lastTable != nil && w.lastASID == asid {
+		return w.lastTable, true
+	}
+	t, ok := w.tables[asid]
+	if ok {
+		w.lastASID, w.lastTable = asid, t
+	}
+	return t, ok
 }
 
 // Name implements mmu.Walker.
@@ -393,11 +434,17 @@ var _ metrics.Source = (*Walker)(nil)
 // miss it first fetches the CWT entry, then probes the tables indicated —
 // without size information it must probe both sizes (2d requests).
 func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
-	t, ok := w.tables[asid]
+	t, ok := w.table(asid)
 	if !ok {
 		return mmu.Outcome{}
 	}
 	w.buf.Reset()
+	return w.walkInto(&w.buf, t, asid, v)
+}
+
+// walkInto is Walk's engine over a caller-supplied (already reset) buffer,
+// so the batch path's mismatch fallback can walk into a slot buffer.
+func (w *Walker) walkInto(b *mmu.WalkBuf, t *Table, asid uint16, v addr.VPN) mmu.Outcome {
 	region := t.region(v)
 
 	// An empty mask truly means nothing is mapped in the region (the CWT
@@ -405,7 +452,7 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	mask := t.cwt[region]
 	if !w.cwcPMD.Lookup(asid, region) && !w.cwcPUD.Lookup(asid, region>>9) {
 		// CWC miss: fetch the CWT entry from memory, then probe.
-		w.buf.AddGroup(t.cwtPA(region))
+		b.AddGroup(t.cwtPA(region))
 		w.cwcPMD.Insert(asid, region)
 		w.cwcPUD.Insert(asid, region>>9)
 	}
@@ -413,10 +460,10 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 	// All indicated page-size tables are probed as one parallel group,
 	// appended straight into the walk buffer; an empty group is dropped.
 	probeSizes := [...]addr.PageSize{addr.Page4K, addr.Page2M}
-	w.buf.Group()
+	b.Group()
 	for _, s := range probeSizes {
 		if mask&(1<<uint(s)) != 0 {
-			t.tables[s].probeInto(&w.buf, v)
+			t.tables[s].probeInto(b, v)
 		}
 	}
 	var entry pte.Entry
@@ -429,7 +476,96 @@ func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
 			}
 		}
 	}
-	return w.buf.Outcome(entry, found, mmu.StepCycles)
+	return b.Outcome(entry, found, mmu.StepCycles)
+}
+
+// Lookup implements mmu.Lookuper: resolve the translation functionally and
+// record a walk plan. Each indicated way is hashed exactly once, serving
+// both the probe trace and the tag match — the scalar Walk hashes every
+// way twice (probeInto, then lookup).
+func (w *Walker) Lookup(asid uint16, v addr.VPN) (pte.Entry, bool) {
+	if w.planASID != asid {
+		w.plans = w.plans[:0]
+		w.planPos = 0
+		w.planASID = asid
+	}
+	var p plan
+	p.vpn = v
+	t, ok := w.table(asid)
+	if !ok {
+		p.noTable = true
+		//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+		w.plans = append(w.plans, p)
+		return 0, false
+	}
+	p.region = t.region(v)
+	p.cwtPA = t.cwtPA(p.region)
+	mask := t.cwt[p.region]
+	// Sizes probed 4K before 2M and ways in order, matching the scalar
+	// probe trace; the first matching (size, way) wins, matching the
+	// scalar break-at-first-size lookup loop.
+	for _, s := range [...]addr.PageSize{addr.Page4K, addr.Page2M} {
+		if mask&(1<<uint(s)) == 0 {
+			continue
+		}
+		c := t.tables[s]
+		tag := addr.AlignDown(v, c.size)
+		for _, wy := range c.ways {
+			i := wy.index(tag)
+			p.probes[p.nprobe] = wy.slotPA(i)
+			p.nprobe++
+			if !p.found && wy.slots[i].Matches(v) {
+				p.entry, p.found = wy.slots[i].Entry, true
+			}
+		}
+	}
+	//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+	w.plans = append(w.plans, p)
+	return p.entry, p.found
+}
+
+// replay performs the timing half of a planned walk: live CWC probes and
+// fills, probe trace from the plan. The emitted trace is exactly the
+// scalar Walk's for the same table state.
+func (w *Walker) replay(b *mmu.WalkBuf, asid uint16, p *plan) mmu.Outcome {
+	if p.noTable {
+		return mmu.Outcome{}
+	}
+	if !w.cwcPMD.Lookup(asid, p.region) && !w.cwcPUD.Lookup(asid, p.region>>9) {
+		b.AddGroup(p.cwtPA)
+		w.cwcPMD.Insert(asid, p.region)
+		w.cwcPUD.Insert(asid, p.region>>9)
+	}
+	b.Group()
+	for i := 0; i < int(p.nprobe); i++ {
+		b.Add(p.probes[i])
+	}
+	return b.Outcome(p.entry, p.found, mmu.StepCycles)
+}
+
+// WalkBatch implements mmu.BatchWalker: replay the plans recorded by the
+// preceding Lookup sequence (falling back to fresh walks on mismatch) and
+// drain the plan queue.
+func (w *Walker) WalkBatch(asid uint16, vpns []addr.VPN, bufs *mmu.WalkBatchBuf) {
+	bufs.Reset(len(vpns))
+	for i, v := range vpns {
+		b := bufs.Buf(i)
+		if w.planPos < len(w.plans) && asid == w.planASID && w.plans[w.planPos].vpn == v {
+			p := &w.plans[w.planPos]
+			w.planPos++
+			bufs.SetOutcome(i, w.replay(b, asid, p))
+			continue
+		}
+		if t, ok := w.table(asid); ok {
+			bufs.SetOutcome(i, w.walkInto(b, t, asid, v))
+		} else {
+			bufs.SetOutcome(i, mmu.Outcome{})
+		}
+	}
+	w.plans = w.plans[:0]
+	w.planPos = 0
 }
 
 var _ mmu.Walker = (*Walker)(nil)
+var _ mmu.BatchWalker = (*Walker)(nil)
+var _ mmu.Lookuper = (*Walker)(nil)

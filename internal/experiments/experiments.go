@@ -46,6 +46,13 @@ type Config struct {
 	// entirely (footprint-based sizing is skipped). Used by tests to force
 	// launch failures; full- and quick-scale configs leave it zero.
 	PhysBytes uint64
+	// Warmup, when positive, fast-forwards the first Warmup accesses of
+	// every run through functional state (TLBs, walk caches, cache tags)
+	// before the measured region begins — counters then cover only the
+	// remaining accesses, from warmed state. It changes measured results,
+	// so it is part of the RunKey and the config fingerprint; omitempty
+	// keeps zero-warmup fingerprints identical to historical ones.
+	Warmup int `json:",omitempty"`
 }
 
 // Default is the full-scale configuration used by cmd/lvmbench and the
@@ -75,14 +82,20 @@ func Quick() Config {
 	}
 }
 
-// RunKey identifies one cached simulation.
+// RunKey identifies one cached simulation. Warmup is part of the key
+// because a warmed measured region produces different counters than a
+// cold full-trace run — the two must never alias in the run cache.
 type RunKey struct {
 	Workload string
 	Scheme   oskernel.Scheme
 	THP      bool
+	Warmup   int
 }
 
 func (k RunKey) String() string {
+	if k.Warmup > 0 {
+		return fmt.Sprintf("%s/%s thp=%t warmup=%d", k.Workload, k.Scheme, k.THP, k.Warmup)
+	}
 	return fmt.Sprintf("%s/%s thp=%t", k.Workload, k.Scheme, k.THP)
 }
 
@@ -266,7 +279,7 @@ func launchScaled(mem *phys.Memory, scheme oskernel.Scheme, space *vas.AddressSp
 // in-line on a miss. Failures anywhere on the build/launch/run path come
 // back as a wrapped error naming the RunKey.
 func (r *Runner) Run(name string, scheme oskernel.Scheme, thp bool) (*RunOutput, error) {
-	key := RunKey{name, scheme, thp}
+	key := RunKey{Workload: name, Scheme: scheme, THP: thp, Warmup: r.Cfg.Warmup}
 	r.mu.Lock()
 	out, ok := r.runs[key]
 	r.mu.Unlock()
@@ -301,7 +314,13 @@ func (r *Runner) execute(key RunKey) (*RunOutput, error) {
 	cfg := r.Cfg.Sim
 	cfg.Midgard = key.Scheme == oskernel.SchemeMidgard
 	cpu := sim.New(cfg, sys.Walker())
-	res := cpu.Run(1, w)
+	var res sim.Result
+	if key.Warmup > 0 {
+		n := cpu.FastForward(1, w, key.Warmup)
+		res = cpu.RunFrom(1, w, n)
+	} else {
+		res = cpu.Run(1, w)
+	}
 
 	out := &RunOutput{Sim: res}
 	if p != nil {

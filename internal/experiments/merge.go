@@ -127,7 +127,7 @@ func MergeShards(files []ShardFile) (*Runner, Plan, error) {
 		byIndex[doc.Shard.Index] = f.Name
 
 		for _, rd := range doc.Runs {
-			k := keyDoc{rd.Workload, rd.Scheme, rd.THP}.key()
+			k := keyDoc{rd.Workload, rd.Scheme, rd.THP, rd.Warmup}.key()
 			if !inPlan[k] {
 				return nil, Plan{}, fmt.Errorf("experiments: merge: %s: run %s is not in the plan", f.Name, k)
 			}

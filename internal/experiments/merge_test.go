@@ -126,7 +126,7 @@ func TestMergeShardsMissingRun(t *testing.T) {
 	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
 	var dropped RunKey
 	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) {
-		dropped = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP}.key()
+		dropped = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP, d.Runs[0].Warmup}.key()
 		d.Runs = d.Runs[1:]
 	})
 	wantMergeError(t, files, dropped.String(), "missing from every shard")
@@ -137,7 +137,7 @@ func TestMergeShardsDuplicateRunAcrossShards(t *testing.T) {
 	var stolen runDoc
 	mutate(t, files[1].Data, func(d *runsDoc) { stolen = d.Runs[0] })
 	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) { d.Runs = append(d.Runs, stolen) })
-	key := keyDoc{stolen.Workload, stolen.Scheme, stolen.THP}.key()
+	key := keyDoc{stolen.Workload, stolen.Scheme, stolen.THP, stolen.Warmup}.key()
 	wantMergeError(t, files, key.String(), "part0.json", "part1.json")
 }
 
@@ -157,7 +157,7 @@ func TestMergeShardsCorruptMetricKind(t *testing.T) {
 	_, _, files := mergeFixture(t, jsonSweepConfig(), 2)
 	var key string
 	files[0].Data = mutate(t, files[0].Data, func(d *runsDoc) {
-		key = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP}.key().String()
+		key = keyDoc{d.Runs[0].Workload, d.Runs[0].Scheme, d.Runs[0].THP, d.Runs[0].Warmup}.key().String()
 		d.Runs[0].Output.Sim.Metrics[0].Kind = "histogram"
 	})
 	wantMergeError(t, files, "part0.json", key, "unknown kind")

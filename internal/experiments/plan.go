@@ -26,6 +26,9 @@ func NewPlan(cfg Config, exps []Experiment) Plan {
 			continue
 		}
 		for _, k := range e.Requires(cfg) {
+			// Stamp the sweep-wide warmup onto every required key here, so
+			// Requires implementations stay warmup-oblivious.
+			k.Warmup = cfg.Warmup
 			if !seen[k] {
 				seen[k] = true
 				runs = append(runs, k)

@@ -112,7 +112,7 @@ func TestRunErrorNamesKey(t *testing.T) {
 	if !errors.Is(err, phys.ErrNoMemory) {
 		t.Errorf("error does not wrap phys.ErrNoMemory: %v", err)
 	}
-	want := RunKey{"gups", oskernel.SchemeLVM, false}.String()
+	want := RunKey{Workload: "gups", Scheme: oskernel.SchemeLVM}.String()
 	if !strings.Contains(err.Error(), want) {
 		t.Errorf("error %q does not name the run %q", err, want)
 	}

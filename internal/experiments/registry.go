@@ -60,7 +60,7 @@ func cross(workloads []string, schemes []oskernel.Scheme, thps ...bool) []RunKey
 	for _, thp := range thps {
 		for _, name := range workloads {
 			for _, s := range schemes {
-				keys = append(keys, RunKey{name, s, thp})
+				keys = append(keys, RunKey{Workload: name, Scheme: s, THP: thp})
 			}
 		}
 	}

@@ -12,7 +12,7 @@ import (
 	"lvm/internal/oskernel"
 )
 
-func testKey() RunKey { return RunKey{"mem$", oskernel.SchemeLVM, false} }
+func testKey() RunKey { return RunKey{Workload: "mem$", Scheme: oskernel.SchemeLVM} }
 
 func TestRunCacheRoundTrip(t *testing.T) {
 	c, err := NewRunCache(t.TempDir(), jsonSweepConfig())
@@ -97,8 +97,8 @@ func TestRunCacheKeyMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	keyA := RunKey{"bfs", oskernel.SchemeRadix, false}
-	keyB := RunKey{"bfs", oskernel.SchemeLVM, false}
+	keyA := RunKey{Workload: "bfs", Scheme: oskernel.SchemeRadix}
+	keyB := RunKey{Workload: "bfs", Scheme: oskernel.SchemeLVM}
 	if err := c.Store(keyA, fakeOutput(keyA, 1)); err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,7 @@ type runDoc struct {
 	Workload    string      `json:"workload"`
 	Scheme      string      `json:"scheme"`
 	THP         bool        `json:"thp"`
+	Warmup      int         `json:"warmup,omitempty"`
 	Metrics     metrics.Set `json:"metrics"`
 	HostSeconds float64     `json:"host_seconds,omitempty"`
 	// Output is the lossless RunOutput payload. Only shard documents carry
@@ -48,12 +49,13 @@ type keyDoc struct {
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
 	THP      bool   `json:"thp"`
+	Warmup   int    `json:"warmup,omitempty"`
 }
 
-func keyToDoc(k RunKey) keyDoc { return keyDoc{k.Workload, string(k.Scheme), k.THP} }
+func keyToDoc(k RunKey) keyDoc { return keyDoc{k.Workload, string(k.Scheme), k.THP, k.Warmup} }
 
 func (d keyDoc) key() RunKey {
-	return RunKey{Workload: d.Workload, Scheme: oskernel.Scheme(d.Scheme), THP: d.THP}
+	return RunKey{Workload: d.Workload, Scheme: oskernel.Scheme(d.Scheme), THP: d.THP, Warmup: d.Warmup}
 }
 
 // shardDoc identifies which partition of the plan a partial document holds.
@@ -107,6 +109,7 @@ func flatRunDoc(k RunKey, out *RunOutput, timings bool) runDoc {
 		Workload: k.Workload,
 		Scheme:   string(k.Scheme),
 		THP:      k.THP,
+		Warmup:   k.Warmup,
 		Metrics:  m,
 	}
 	if timings {
@@ -162,6 +165,7 @@ type parsedRun struct {
 	Workload    string                 `json:"workload"`
 	Scheme      string                 `json:"scheme"`
 	THP         bool                   `json:"thp"`
+	Warmup      int                    `json:"warmup"`
 	Metrics     map[string]json.Number `json:"metrics"`
 	HostSeconds float64                `json:"host_seconds"`
 }
@@ -172,6 +176,9 @@ type parsedDoc struct {
 }
 
 func (r parsedRun) key() string {
+	if r.Warmup > 0 {
+		return fmt.Sprintf("%s/%s thp=%t warmup=%d", r.Workload, r.Scheme, r.THP, r.Warmup)
+	}
 	return fmt.Sprintf("%s/%s thp=%t", r.Workload, r.Scheme, r.THP)
 }
 

@@ -104,7 +104,7 @@ func TestEstimateCostsMatchRunBytes(t *testing.T) {
 			t.Errorf("%s: estimated cost %d, built cost %d", k, costs[i], r.runBytes(w))
 		}
 	}
-	if _, err := r.EstimateCosts(Plan{Runs: []RunKey{{"nope", oskernel.SchemeLVM, false}}}); err == nil {
+	if _, err := r.EstimateCosts(Plan{Runs: []RunKey{{Workload: "nope", Scheme: oskernel.SchemeLVM}}}); err == nil {
 		t.Error("unknown workload estimated without error")
 	}
 }

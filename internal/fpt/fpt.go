@@ -224,10 +224,35 @@ func (t *Table) Release() {
 // Walker is the FPT hardware walker with a PWC over folded upper entries.
 type Walker struct {
 	tables map[uint16]*Table
-	upper  *mmu.PWC
+	// lastASID/lastTable memoize the most recent tables lookup so batched
+	// walks skip the map per access; Attach/Detach invalidate it.
+	lastASID  uint16
+	lastTable *Table
+	upper     *mmu.PWC
 	// buf is the reusable walk-trace buffer; Walk outcomes view it and
 	// stay valid until the next Walk.
 	buf mmu.WalkBuf
+
+	// plans queue the walk plans recorded by Lookup, consumed in order by
+	// WalkBatch (see the mmu.Lookuper contract).
+	plans    []plan
+	planPos  int
+	planASID uint16
+}
+
+// plan is one functional lookup's record: the fetch PAs of the folded (or
+// radix-fallback) chain plus the resolved entry. Region and lazy
+// leaf-table installs happen during Lookup, in arrival order — exactly
+// where the scalar Walk would perform them.
+type plan struct {
+	vpn     addr.VPN
+	noTable bool
+	folded  bool
+	upperPA addr.PA
+	pmdPA   addr.PA
+	leafPA  addr.PA
+	entry   pte.Entry
+	found   bool
 }
 
 // NewWalker creates the walker (32-entry upper PWC, as radix's per-level
@@ -237,12 +262,28 @@ func NewWalker() *Walker {
 }
 
 // Attach registers a table under an ASID.
-func (w *Walker) Attach(asid uint16, t *Table) { w.tables[asid] = t }
+func (w *Walker) Attach(asid uint16, t *Table) {
+	w.tables[asid] = t
+	w.lastTable = nil
+}
 
 // Detach removes a process's table and flushes its PWC entries.
 func (w *Walker) Detach(asid uint16) {
 	delete(w.tables, asid)
+	w.lastTable = nil
 	w.upper.FlushASID(asid)
+}
+
+// table resolves an ASID's table through the one-entry memo.
+func (w *Walker) table(asid uint16) (*Table, bool) {
+	if w.lastTable != nil && w.lastASID == asid {
+		return w.lastTable, true
+	}
+	t, ok := w.tables[asid]
+	if ok {
+		w.lastASID, w.lastTable = asid, t
+	}
+	return t, ok
 }
 
 // Name implements mmu.Walker.
@@ -261,28 +302,109 @@ var _ metrics.Source = (*Walker)(nil)
 // (one with a PWC hit); unfolded regions behave like radix (four cold,
 // PWC-trimmed warm).
 func (w *Walker) Walk(asid uint16, v addr.VPN) mmu.Outcome {
-	t, ok := w.tables[asid]
+	t, ok := w.table(asid)
 	if !ok {
 		return mmu.Outcome{}
 	}
 	w.buf.Reset()
+	return w.walkInto(&w.buf, t, asid, v)
+}
+
+// walkInto is Walk's engine over a caller-supplied (already reset) buffer,
+// so the batch path's mismatch fallback can walk into a slot buffer.
+func (w *Walker) walkInto(b *mmu.WalkBuf, t *Table, asid uint16, v addr.VPN) mmu.Outcome {
 	r := t.regionFor(v)
 
 	upperHit := w.upper.Lookup(asid, uint64(v)>>upperIndexBits)
 	if !upperHit {
-		w.buf.AddGroup(t.upperPA(v))
+		b.AddGroup(t.upperPA(v))
 		w.upper.Insert(asid, uint64(v)>>upperIndexBits)
 	}
 	if r.folded && t.upperFolded {
-		w.buf.AddGroup(t.leafPA(r, v))
+		b.AddGroup(t.leafPA(r, v))
 	} else {
 		// Radix fallback inside this region: PMD then PTE (the upper
 		// covered L4+L3 equivalents).
-		w.buf.AddGroup(t.pmdPA(r, v))
-		w.buf.AddGroup(t.leafPA(r, v))
+		b.AddGroup(t.pmdPA(r, v))
+		b.AddGroup(t.leafPA(r, v))
 	}
 	e, found := t.Lookup(v)
-	return w.buf.Outcome(e, found, mmu.StepCycles)
+	return b.Outcome(e, found, mmu.StepCycles)
+}
+
+// Lookup implements mmu.Lookuper: resolve the translation functionally
+// (performing any first-touch region or lazy leaf-table installs exactly
+// where the scalar Walk would) and record the fetch chain for WalkBatch.
+func (w *Walker) Lookup(asid uint16, v addr.VPN) (pte.Entry, bool) {
+	if w.planASID != asid {
+		w.plans = w.plans[:0]
+		w.planPos = 0
+		w.planASID = asid
+	}
+	var p plan
+	p.vpn = v
+	t, ok := w.table(asid)
+	if !ok {
+		p.noTable = true
+		//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+		w.plans = append(w.plans, p)
+		return 0, false
+	}
+	r := t.regionFor(v)
+	p.upperPA = t.upperPA(v)
+	p.folded = r.folded && t.upperFolded
+	if !p.folded {
+		p.pmdPA = t.pmdPA(r, v)
+	}
+	p.leafPA = t.leafPA(r, v)
+	p.entry, p.found = t.Lookup(v)
+	//lint:allow hotalloc plan queue grows to the batch size once, then recycles
+	w.plans = append(w.plans, p)
+	return p.entry, p.found
+}
+
+// replay performs the timing half of a planned walk: the upper-PWC probe
+// and fill run live, the fetch chain comes from the plan.
+func (w *Walker) replay(b *mmu.WalkBuf, asid uint16, p *plan) mmu.Outcome {
+	if p.noTable {
+		return mmu.Outcome{}
+	}
+	if !w.upper.Lookup(asid, uint64(p.vpn)>>upperIndexBits) {
+		b.AddGroup(p.upperPA)
+		w.upper.Insert(asid, uint64(p.vpn)>>upperIndexBits)
+	}
+	if p.folded {
+		b.AddGroup(p.leafPA)
+	} else {
+		b.AddGroup(p.pmdPA)
+		b.AddGroup(p.leafPA)
+	}
+	return b.Outcome(p.entry, p.found, mmu.StepCycles)
+}
+
+// WalkBatch implements mmu.BatchWalker: replay the plans recorded by the
+// preceding Lookup sequence (falling back to fresh walks on mismatch) and
+// drain the plan queue.
+func (w *Walker) WalkBatch(asid uint16, vpns []addr.VPN, bufs *mmu.WalkBatchBuf) {
+	bufs.Reset(len(vpns))
+	for i, v := range vpns {
+		b := bufs.Buf(i)
+		if w.planPos < len(w.plans) && asid == w.planASID && w.plans[w.planPos].vpn == v {
+			p := &w.plans[w.planPos]
+			w.planPos++
+			bufs.SetOutcome(i, w.replay(b, asid, p))
+			continue
+		}
+		if t, ok := w.table(asid); ok {
+			bufs.SetOutcome(i, w.walkInto(b, t, asid, v))
+		} else {
+			bufs.SetOutcome(i, mmu.Outcome{})
+		}
+	}
+	w.plans = w.plans[:0]
+	w.planPos = 0
 }
 
 var _ mmu.Walker = (*Walker)(nil)
+var _ mmu.BatchWalker = (*Walker)(nil)
+var _ mmu.Lookuper = (*Walker)(nil)

@@ -54,9 +54,10 @@ func inHotAllocScope(path string) bool { return hotAllocPkgs[StripVariant(path)]
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "hotalloc statically seals the zero-allocation translate hot path. " +
-		"From the roots sim.step, CPU.translate, and every scheme walker's " +
-		"Walk/WalkInto (resolved through the cross-package call graph, " +
-		"interface dispatch included), it flags every reachable " +
+		"From the roots sim.step, CPU.translate, the batch pipeline " +
+		"(CPU.TranslateBatch, CPU.FastForward), and every scheme walker's " +
+		"Walk/WalkInto/WalkBatch/Lookup (resolved through the cross-package " +
+		"call graph, interface dispatch included), it flags every reachable " +
 		"heap-allocating construct: make/new, appends outside the " +
 		"`x = append(x, …)` + `x = x[:0]` reuse discipline, escaping " +
 		"composite literals, closure creation, interface boxing at call " +
@@ -87,11 +88,11 @@ func runHotAlloc(pass *ProgramPass) {
 		}
 		recv := n.Recv()
 		switch n.Fn.Name() {
-		case "step", "translate":
+		case "step", "translate", "TranslateBatch", "FastForward":
 			if n.Pkg.PkgPath == ModulePath+"/internal/sim" && recv != nil && isCPUType(recv) {
 				roots = append(roots, n)
 			}
-		case "Walk", "WalkInto":
+		case "Walk", "WalkInto", "WalkBatch", "Lookup":
 			if recv != nil && walkerIface != nil && implementsIface(recv, walkerIface) {
 				roots = append(roots, n)
 			}

@@ -141,6 +141,79 @@ type Walker interface {
 	Walk(asid uint16, v addr.VPN) Outcome
 }
 
+// Lookuper is the functional half of a batched walker: Lookup resolves a
+// translation without charging walk caches or emitting a memory-request
+// trace, so the simulator can fill the TLB before the timing walk runs.
+// Walkers record a per-VPN walk plan during Lookup; a following WalkBatch
+// over the same (asid, vpn) sequence replays the recorded plans, so each
+// table traversal happens exactly once per miss.
+type Lookuper interface {
+	Lookup(asid uint16, v addr.VPN) (pte.Entry, bool)
+}
+
+// BatchWalker extends Walker with a batched seam: one call walks a whole
+// miss batch, amortizing per-walk dispatch and keeping walker scratch and
+// walk caches hot. Implementations must preserve per-access outcome
+// ordering and produce, for each vpns[i], exactly the walk-cache operations
+// and request trace the scalar Walk would — slot i's Outcome views
+// bufs.Buf(i) and stays valid until the next WalkBatch.
+type BatchWalker interface {
+	Walker
+	WalkBatch(asid uint16, vpns []addr.VPN, bufs *WalkBatchBuf)
+}
+
+// WalkBatchBuf holds the per-slot walk buffers and sealed outcomes of one
+// batched walk. The caller owns one and passes it to WalkBatch; slots are
+// reused across batches, so in steady state no call allocates.
+type WalkBatchBuf struct {
+	bufs []WalkBuf
+	outs []Outcome
+}
+
+// Reset prepares n slots for a new batch, retaining per-slot capacity.
+func (b *WalkBatchBuf) Reset(n int) {
+	for len(b.bufs) < n {
+		//lint:allow hotalloc slot slices grow to the batch size once, then recycle
+		b.bufs = append(b.bufs, WalkBuf{})
+		//lint:allow hotalloc slot slices grow to the batch size once, then recycle
+		b.outs = append(b.outs, Outcome{})
+	}
+	for i := 0; i < n; i++ {
+		b.bufs[i].Reset()
+	}
+}
+
+// Buf returns slot i's walk buffer for the walker to fill.
+func (b *WalkBatchBuf) Buf(i int) *WalkBuf { return &b.bufs[i] }
+
+// SetOutcome seals slot i's result.
+func (b *WalkBatchBuf) SetOutcome(i int, o Outcome) { b.outs[i] = o }
+
+// Outcome returns slot i's sealed result, valid until the next Reset.
+func (b *WalkBatchBuf) Outcome(i int) Outcome { return b.outs[i] }
+
+// WalkSerial adapts any Walker to the WalkBatch seam by looping Walk and
+// copying each trace into its slot, so schemes can adopt native batched
+// walks incrementally.
+func WalkSerial(w Walker, asid uint16, vpns []addr.VPN, bufs *WalkBatchBuf) {
+	bufs.Reset(len(vpns))
+	for i, v := range vpns {
+		out := w.Walk(asid, v)
+		b := &bufs.bufs[i]
+		//lint:allow hotalloc appends grow each slot to the scheme's max trace once
+		b.pas = append(b.pas[:0], out.pas...)
+		//lint:allow hotalloc appends grow each slot to the scheme's max trace once
+		b.ends = append(b.ends[:0], out.ends...)
+		bufs.outs[i] = Outcome{
+			Entry:           out.Entry,
+			Found:           out.Found,
+			WalkCacheCycles: out.WalkCacheCycles,
+			pas:             b.pas,
+			ends:            b.ends,
+		}
+	}
+}
+
 // StepCycles is the walk-cache lookup / model-computation latency per step
 // (Table 1: 2 cycles for PWC, CWC and LWC).
 const StepCycles = 2
@@ -158,28 +231,48 @@ type lruNode[K comparable] struct {
 	prev, next int32
 }
 
-// lruCache is the map-backed fully associative LRU shared by the LWC and
-// PWC: O(1) lookup via the index map, O(1) recency update via the intrusive
-// list over a fixed slab. It reproduces the previous move-to-front slice
-// semantics exactly — including tombstoned slots occupying capacity until
-// evicted — while removing the linear probe from the walk hot path. None of
-// the steady-state operations allocate once the slab and map have reached
-// the fixed capacity.
+// lruCache is the fully associative LRU shared by the LWC and PWC: lookup
+// is a linear scan over a dense key slice (walk-cache capacities top out at
+// 32 entries, so a few cache lines of keys beat a map's hashing and probe
+// on the walk hot path), recency updates are O(1) via the intrusive list.
+// It reproduces the historical move-to-front slice semantics exactly —
+// including tombstoned slots occupying capacity until evicted. None of the
+// steady-state operations allocate once the slabs reach the fixed capacity.
 type lruCache[K comparable] struct {
-	nodes      []lruNode[K] // slab; len grows to capacity, then constant
-	index      map[K]int32  // valid entries only
+	keys       []K          // dense scan target, parallel to nodes
+	nodes      []lruNode[K] // recency links + validity; len mirrors keys
 	head, tail int32        // recency list: head = MRU, tail = LRU
 	capacity   int
+	// missKey memoizes the last failed find: the walk-path pattern is
+	// lookup-miss immediately followed by insert of the same key, and the
+	// memo lets that insert skip its duplicate-detection rescan. Any insert
+	// clears it (the only operation that can add a key).
+	missKey   K
+	missValid bool
 }
 
 func newLRU[K comparable](capacity int) lruCache[K] {
 	return lruCache[K]{
+		keys:     make([]K, 0, max(capacity, 0)),
 		nodes:    make([]lruNode[K], 0, max(capacity, 0)),
-		index:    make(map[K]int32, max(capacity, 0)),
 		head:     -1,
 		tail:     -1,
 		capacity: capacity,
 	}
+}
+
+// find returns the slab index of the valid entry for key, or -1 (recording
+// the miss memo). At most one valid slot carries a given key (insert
+// tombstones duplicates).
+func (c *lruCache[K]) find(key K) int32 {
+	for i, k := range c.keys {
+		if k == key && c.nodes[i].valid {
+			return int32(i)
+		}
+	}
+	c.missKey = key
+	c.missValid = true
+	return -1
 }
 
 func (c *lruCache[K]) unlink(i int32) {
@@ -210,8 +303,8 @@ func (c *lruCache[K]) pushFront(i int32) {
 
 // lookup probes for a key; on hit the slot moves to MRU.
 func (c *lruCache[K]) lookup(key K) bool {
-	i, ok := c.index[key]
-	if !ok {
+	i := c.find(key)
+	if i < 0 {
 		return false
 	}
 	if i != c.head {
@@ -232,44 +325,45 @@ func (c *lruCache[K]) insert(key K, asid uint16) {
 	if c.capacity <= 0 {
 		return
 	}
-	if old, ok := c.index[key]; ok {
-		c.nodes[old].valid = false
-		delete(c.index, key)
+	// Skip the duplicate rescan when a find for this exact key just missed
+	// (the universal walk-path sequence); no insert happened in between, so
+	// the key is still absent.
+	if !(c.missValid && c.missKey == key) {
+		if old := c.find(key); old >= 0 {
+			c.nodes[old].valid = false
+		}
 	}
+	c.missValid = false
 	var i int32
 	if len(c.nodes) < c.capacity {
 		//lint:allow hotalloc append bounded by capacity; nodes fill during warmup then recycle via LRU tail
 		c.nodes = append(c.nodes, lruNode[K]{})
+		//lint:allow hotalloc append bounded by capacity; keys fill during warmup then recycle via LRU tail
+		c.keys = append(c.keys, key)
 		i = int32(len(c.nodes) - 1)
 	} else {
 		i = c.tail
 		c.unlink(i)
-		if c.nodes[i].valid {
-			delete(c.index, c.nodes[i].key)
-		}
 	}
+	c.keys[i] = key
 	c.nodes[i] = lruNode[K]{key: key, asid: asid, valid: true, prev: -1, next: -1}
 	c.pushFront(i)
-	c.index[key] = i
 }
 
 // invalidate tombstones one key: the slot keeps its recency position (it
 // still ages out through the tail) but can no longer hit.
 func (c *lruCache[K]) invalidate(key K) {
-	if i, ok := c.index[key]; ok {
+	if i := c.find(key); i >= 0 {
 		c.nodes[i].valid = false
-		delete(c.index, key)
 	}
 }
 
-// flushASID tombstones every entry of one address space. This walks the
-// slab, not the map, so it stays deterministic; flushes are rare control
-// events (process exit, OS retrain), never on the walk path.
+// flushASID tombstones every entry of one address space. Flushes are rare
+// control events (process exit, OS retrain), never on the walk path.
 func (c *lruCache[K]) flushASID(asid uint16) {
 	for i := range c.nodes {
 		if c.nodes[i].valid && c.nodes[i].asid == asid {
 			c.nodes[i].valid = false
-			delete(c.index, c.nodes[i].key)
 		}
 	}
 }

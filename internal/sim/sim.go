@@ -40,7 +40,17 @@ type Config struct {
 	// the intermediate (virtual) address first; translation is needed only
 	// when the request misses the LLC.
 	Midgard bool
+	// BatchSize is the translation pipeline's chunk size — a pure
+	// performance knob: every value produces bit-identical Results and
+	// metrics (test-enforced). 0 means DefaultBatchSize; 1 forces the
+	// scalar per-access path. Excluded from JSON (and therefore from the
+	// experiment config fingerprint) because it cannot change any output.
+	BatchSize int `json:"-"`
 }
+
+// DefaultBatchSize is the translation pipeline's chunk size when
+// Config.BatchSize is zero.
+const DefaultBatchSize = 64
 
 // withTLBDefaults fills unset TLB geometry with the Table-1 sizes. It is
 // the single source of the defaults: DefaultConfig derives its published
@@ -151,17 +161,55 @@ type CPU struct {
 	tlbs   *tlb.Hierarchy
 	caches *cache.Hierarchy
 	walker mmu.Walker
+	// bw/lk are the walker's batch seam, nil when it only implements the
+	// scalar Walk (the pipeline needs both: lk resolves misses functionally
+	// so the TLB can fill in arrival order, bw replays the timing walks).
+	bw mmu.BatchWalker
+	lk mmu.Lookuper
+
+	batch batchState
+}
+
+// batchState is the reusable scratch of the translation pipeline.
+type batchState struct {
+	bufs mmu.WalkBatchBuf
+	vpns []addr.VPN
+	recs []accessRec
+}
+
+// accessRec carries one access's functional-phase results to the retire
+// phase.
+type accessRec struct {
+	va     addr.VA
+	vpn    addr.VPN
+	entry  pte.Entry
+	tlbLat int
+	slot   int32
+	hitL1  bool
+	miss   bool
+	fault  bool
 }
 
 // New creates a core bound to a scheme walker.
 func New(cfg Config, walker mmu.Walker) *CPU {
 	cfg = cfg.withTLBDefaults()
-	return &CPU{
+	c := &CPU{
 		cfg:    cfg,
 		tlbs:   tlb.NewHierarchySized(cfg.TLBL1Small, cfg.TLBL1Huge, cfg.TLBL2, cfg.TLBL2Huge),
 		caches: cache.New(cfg.Cache, dram.New(cfg.DRAM)),
 		walker: walker,
 	}
+	c.bw, _ = walker.(mmu.BatchWalker)
+	c.lk, _ = walker.(mmu.Lookuper)
+	return c
+}
+
+// batchSize resolves the configured chunk size.
+func (c *CPU) batchSize() int {
+	if c.cfg.BatchSize == 0 {
+		return DefaultBatchSize
+	}
+	return c.cfg.BatchSize
 }
 
 // TLBs exposes the TLB hierarchy for inspection.
@@ -223,30 +271,289 @@ func (c *CPU) translate(asid uint16, v addr.VPN, res *Result, lat *float64) (pte
 
 // Run simulates a trace for one process (ASID) and returns the metrics.
 func (c *CPU) Run(asid uint16, w *workload.Workload) Result {
-	return c.run(asid, w, nil, nil)
+	return c.run(asid, w, runOpts{})
 }
 
-// run is the single translation loop behind Run, RunTail and RunIntervals:
-// per access it charges the instruction-retire cycles, any hook-injected
-// extra work, and then the access path via step. obs, when non-nil,
-// observes every access index and its end-to-end latency after the access
-// completes — the tail study records latencies and the interval snapshots
-// cut windows there.
-func (c *CPU) run(asid uint16, w *workload.Workload, hook func(i int) float64, obs func(i int, lat float64)) Result {
+// RunFrom simulates the trace suffix starting at access index start and
+// returns metrics covering only that measured region: component counters
+// are reported as the delta over the run (float cycle accounting starts at
+// zero anyway). RunFrom(0) is exactly Run. Pair it with FastForward to
+// warm state on a prefix and measure the rest.
+func (c *CPU) RunFrom(asid uint16, w *workload.Workload, start int) Result {
+	if start < 0 {
+		start = 0
+	}
+	if start > len(w.Accesses) {
+		start = len(w.Accesses)
+	}
+	return c.run(asid, w, runOpts{start: start})
+}
+
+// runOpts selects run's optional behaviours; the zero value is a plain
+// full-trace run. It replaces the hook/obs closure pair the step
+// unification left behind: latency observation and interval cuts are part
+// of the loop itself now, so the batch retire path can feed them directly.
+type runOpts struct {
+	// start is the first access index simulated (the measured region is
+	// [start, len(Accesses))). When start > 0, finish reports component
+	// counters as deltas over the run.
+	start int
+	// hook injects per-access extra cycles (OS work). A non-nil hook can
+	// mutate OS state between accesses, which would invalidate recorded
+	// walk plans — so it forces the scalar path.
+	hook func(i int) float64
+	// lats, when non-nil, receives access i's end-to-end latency at
+	// lats[i-start]; it must have length len(Accesses)-start.
+	lats []float64
+	// every cuts interval windows at access-count multiples (0 = none);
+	// cut is invoked at each boundary. Batch chunks are clamped so a batch
+	// never straddles a boundary.
+	every int
+	cut   func(end int)
+}
+
+// run is the single translation loop behind Run, RunFrom, RunTail and
+// RunIntervals. The default path chunks the trace through the three-phase
+// translation pipeline (TranslateBatch); Midgard, per-access hooks, and
+// walkers without the batch seam take the scalar step loop. Both paths
+// produce bit-identical Results.
+func (c *CPU) run(asid uint16, w *workload.Workload, o runOpts) Result {
 	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
+	var base metrics.Set
+	if o.start > 0 {
+		base = c.Snapshot()
+	}
 	instrs := w.InstrsPerAccess
-	for i, a := range w.Accesses {
-		extra := 0.0
-		if hook != nil {
-			extra = hook(i)
+	n := len(w.Accesses)
+	batch := c.batchSize()
+	if c.cfg.Midgard || o.hook != nil || batch <= 1 || c.bw == nil || c.lk == nil {
+		for i := o.start; i < n; i++ {
+			extra := 0.0
+			if o.hook != nil {
+				extra = o.hook(i)
+			}
+			lat := c.step(asid, w.Accesses[i], instrs, extra, &res)
+			if o.lats != nil {
+				o.lats[i-o.start] = lat
+			}
+			if o.every > 0 && (i+1)%o.every == 0 {
+				o.cut(i + 1)
+			}
 		}
-		lat := c.step(asid, a, instrs, extra, &res)
-		if obs != nil {
-			obs(i, lat)
+	} else {
+		for i := o.start; i < n; {
+			end := i + batch
+			if end > n {
+				end = n
+			}
+			if o.every > 0 {
+				// Clamp the chunk to the next interval boundary so a batch
+				// never straddles a cut and window contents cannot shift.
+				if next := (i/o.every + 1) * o.every; end > next {
+					end = next
+				}
+			}
+			var lats []float64
+			if o.lats != nil {
+				lats = o.lats[i-o.start : end-o.start]
+			}
+			c.TranslateBatch(asid, w.Window(i, end), instrs, &res, lats)
+			if o.every > 0 && end%o.every == 0 {
+				o.cut(end)
+			}
+			i = end
 		}
 	}
-	c.finish(&res)
+	c.finish(&res, base, o.start > 0)
 	return res
+}
+
+// prepareBatch runs the pipeline's functional and timing-walk phases over
+// one chunk. Phase T, per access in arrival order: probe the TLB; on an L2
+// miss resolve the translation functionally (mmu.Lookuper) and fill the
+// TLB, so later accesses to the same page hit exactly as they would in the
+// scalar loop. Phase W: one WalkBatch over the misses replays the recorded
+// plans — walk-cache state and request traces accrue per miss in arrival
+// order. Each component (TLB, walk caches, cache hierarchy) sees exactly
+// the scalar loop's operation sequence, which is why results stay
+// bit-identical at any batch size.
+func (c *CPU) prepareBatch(asid uint16, accesses []workload.Access) []accessRec {
+	n := len(accesses)
+	for len(c.batch.recs) < n {
+		//lint:allow hotalloc record slab grows to the batch size once, then recycles
+		c.batch.recs = append(c.batch.recs, accessRec{})
+	}
+	recs := c.batch.recs[:n]
+	vpns := c.batch.vpns[:0]
+	nmiss := 0
+	for k := range accesses {
+		a := &accesses[k]
+		v := addr.VPNOf(a.VA)
+		r := &recs[k]
+		tr, hit := c.tlbs.Lookup(asid, v)
+		r.va = a.VA
+		r.vpn = v
+		r.entry = tr.Entry
+		r.tlbLat = tr.Latency
+		r.hitL1 = tr.HitL1
+		r.miss = !hit
+		r.fault = false
+		if !hit {
+			r.slot = int32(nmiss)
+			nmiss++
+			//lint:allow hotalloc miss list grows to the batch size once, then recycles
+			vpns = append(vpns, v)
+			e, found := c.lk.Lookup(asid, v)
+			r.entry = e
+			r.fault = !found
+			if found {
+				c.tlbs.Fill(asid, v, e)
+			}
+		}
+	}
+	c.batch.vpns = vpns
+	if nmiss > 0 {
+		c.bw.WalkBatch(asid, vpns, &c.batch.bufs)
+	}
+	return recs
+}
+
+// TranslateBatch runs one chunk of accesses through the three-phase
+// translation pipeline and charges the existing accounting in arrival
+// order. Phase R (retire), per access: the same float accruals, in the
+// same per-accumulator order, as the scalar step — retire, TLB latency,
+// walk latency (charging the walk's memory requests to the caches), data
+// access — so tail-study latencies and every cycle sum stay bit-identical.
+// lats, when non-nil, receives per-access end-to-end latencies.
+func (c *CPU) TranslateBatch(asid uint16, accesses []workload.Access, instrs int, res *Result, lats []float64) {
+	recs := c.prepareBatch(asid, accesses)
+	retire := float64(instrs) / c.cfg.IssueWidth
+	for k := range recs {
+		r := &recs[k]
+		res.Instructions += uint64(instrs)
+		res.Accesses++
+		lat := retire
+		res.Cycles += retire
+		res.TLBCycles += float64(r.tlbLat)
+		res.Cycles += float64(r.tlbLat)
+		lat += float64(r.tlbLat)
+		if r.miss {
+			res.L2TLBMisses++
+			out := c.batch.bufs.Outcome(int(r.slot))
+			res.Walks++
+			res.WalkRefs += uint64(out.Refs())
+			wlat := c.walkLatency(out)
+			res.WalkCycles += wlat
+			res.Cycles += wlat
+			lat += wlat
+			if r.fault {
+				res.Faults++
+				if lats != nil {
+					lats[k] = lat
+				}
+				continue
+			}
+		}
+		if !r.hitL1 {
+			res.L1TLBMisses++
+		}
+		pa := addr.Translate(r.va, r.entry.PPN(), r.entry.Size())
+		dataLat := float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
+		res.Cycles += dataLat
+		lat += dataLat
+		if lats != nil {
+			lats[k] = lat
+		}
+	}
+}
+
+// FastForward streams the first n accesses of the trace through the
+// machine's functional state — TLBs, walk caches, cache tags, DRAM rows —
+// with no latency accounting and no Result: component state afterwards is
+// exactly what a timing run over the same prefix leaves behind, at a
+// fraction of the cost. It returns the number of accesses consumed
+// (min(n, len(trace))); follow with RunFrom to measure from warmed state.
+func (c *CPU) FastForward(asid uint16, w *workload.Workload, n int) int {
+	if n > len(w.Accesses) {
+		n = len(w.Accesses)
+	}
+	if n <= 0 {
+		return 0
+	}
+	batch := c.batchSize()
+	if c.cfg.Midgard || batch <= 1 || c.bw == nil || c.lk == nil {
+		for i := 0; i < n; i++ {
+			c.forwardStep(asid, w.Accesses[i])
+		}
+		return n
+	}
+	for i := 0; i < n; {
+		end := i + batch
+		if end > n {
+			end = n
+		}
+		recs := c.prepareBatch(asid, w.Window(i, end))
+		for k := range recs {
+			r := &recs[k]
+			if r.miss {
+				out := c.batch.bufs.Outcome(int(r.slot))
+				for gi, groups := 0, out.NumGroups(); gi < groups; gi++ {
+					for _, pa := range out.Group(gi) {
+						c.caches.Access(pa, true)
+					}
+				}
+				if r.fault {
+					continue
+				}
+			}
+			pa := addr.Translate(r.va, r.entry.PPN(), r.entry.Size())
+			c.caches.Access(pa, false)
+		}
+		i = end
+	}
+	return n
+}
+
+// forwardStep is FastForward's scalar fallback (Midgard, batch size 1, or
+// walkers without the batch seam): the state operations of step, none of
+// the accounting.
+func (c *CPU) forwardStep(asid uint16, a workload.Access) {
+	v := addr.VPNOf(a.VA)
+	if c.cfg.Midgard {
+		//lint:allow addrtypes Midgard's cache hierarchy is indexed by the intermediate (virtual) address, so the VA bits are reinterpreted as the cache key on purpose
+		raw := c.caches.Access(addr.PA(a.VA), false)
+		if raw > c.cfg.Cache.L3.LatencyCycles {
+			c.forwardTranslate(asid, v)
+		}
+		return
+	}
+	entry, ok := c.forwardTranslate(asid, v)
+	if !ok {
+		return
+	}
+	pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
+	c.caches.Access(pa, false)
+}
+
+// forwardTranslate performs translate's state operations — TLB probe, the
+// walk with its memory requests charged to the caches, the TLB fill —
+// without accounting. Returns the entry and whether the page is mapped.
+func (c *CPU) forwardTranslate(asid uint16, v addr.VPN) (pte.Entry, bool) {
+	tr, hit := c.tlbs.Lookup(asid, v)
+	if hit {
+		return tr.Entry, true
+	}
+	out := c.walker.Walk(asid, v)
+	for gi, groups := 0, out.NumGroups(); gi < groups; gi++ {
+		for _, pa := range out.Group(gi) {
+			c.caches.Access(pa, true)
+		}
+	}
+	if !out.Found {
+		return 0, false
+	}
+	c.tlbs.Fill(asid, v, out.Entry)
+	return out.Entry, true
 }
 
 // step runs one access through the machine model — the per-access
@@ -320,9 +627,16 @@ var _ metrics.Source = (*CPU)(nil)
 
 // finish derives the Result's rate and traffic fields from the component
 // snapshot — Result is a thin derivation over the metrics layer, not a
-// separate accounting.
-func (c *CPU) finish(res *Result) {
+// separate accounting. In delta mode (RunFrom with start > 0) component
+// counters are reported relative to base, the snapshot taken when the
+// measured region began; component snapshots emit counters only (no
+// gauges), so the subtraction is lossless, and the derived rates below are
+// recomputed from the deltas.
+func (c *CPU) finish(res *Result, base metrics.Set, delta bool) {
 	s := c.Snapshot()
+	if delta {
+		s = s.Delta(base)
+	}
 	res.L2TLBMiss = stats.Ratio(s.Uint("tlb.l2.misses"),
 		s.Uint("tlb.l2.hits")+s.Uint("tlb.l2.misses"))
 	mpki := func(level string) float64 {

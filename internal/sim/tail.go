@@ -14,10 +14,8 @@ import (
 // TLB, so hook-driven map/unmap churn (and its shootdowns) is visible to
 // the access that follows it.
 func (c *CPU) RunTail(asid uint16, w *workload.Workload, hook func(i int) float64) (Result, []float64) {
-	latencies := make([]float64, 0, len(w.Accesses))
-	res := c.run(asid, w, hook, func(_ int, lat float64) {
-		latencies = append(latencies, lat)
-	})
+	latencies := make([]float64, len(w.Accesses))
+	res := c.run(asid, w, runOpts{hook: hook, lats: latencies})
 	return res, latencies
 }
 
@@ -55,11 +53,7 @@ func (c *CPU) RunIntervals(asid uint16, w *workload.Workload, every int) (Result
 		prev = cur
 		start = end
 	}
-	res := c.run(asid, w, nil, func(i int, _ float64) {
-		if (i+1)%every == 0 {
-			cut(i + 1)
-		}
-	})
+	res := c.run(asid, w, runOpts{every: every, cut: cut})
 	if start < len(w.Accesses) {
 		cut(len(w.Accesses))
 	}

@@ -8,6 +8,7 @@
 package tlb
 
 import (
+	"math/bits"
 	"strings"
 
 	"lvm/internal/addr"
@@ -50,7 +51,9 @@ func New(entries, ways int, size addr.PageSize) *TLB {
 	for i := range t.sets {
 		t.sets[i] = make([]entry, 0, ways)
 	}
-	// setShift: index by the low bits of the size-aligned VPN.
+	// setShift: index by the low bits of the size-aligned VPN. BaseVPNs is
+	// a power of two, so the per-lookup division reduces to this shift.
+	t.setShift = uint(bits.TrailingZeros64(size.BaseVPNs()))
 	return t
 }
 
@@ -58,7 +61,7 @@ func New(entries, ways int, size addr.PageSize) *TLB {
 func (t *TLB) PageSize() addr.PageSize { return t.size }
 
 func (t *TLB) setIndex(tag addr.VPN) int {
-	v := uint64(tag) / t.size.BaseVPNs()
+	v := uint64(tag) >> t.setShift
 	return int(v & uint64(len(t.sets)-1))
 }
 

@@ -44,6 +44,11 @@ type Workload struct {
 // FootprintBytes returns the mapped memory size.
 func (w *Workload) FootprintBytes() uint64 { return w.Space.FootprintBytes() }
 
+// Window returns the zero-copy access slice [lo, hi) — the translation
+// pipeline's batch view into the trace. The three-index form prevents an
+// append through the window from reaching the trace beyond hi.
+func (w *Workload) Window(lo, hi int) []Access { return w.Accesses[lo:hi:hi] }
+
 // arena bump-allocates data structures inside a fully mapped region.
 type arena struct {
 	base addr.VA
