@@ -53,7 +53,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload scale")
-	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork")
+	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork, contenders")
 	workers := flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
 	memGiB := flag.Uint64("mem", 0, "memory budget in GiB bounding the summed simulated footprint of in-flight runs (0 = default 32)")
 	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix with estimated costs, then exit without executing")

@@ -150,6 +150,74 @@ func TestRunUnknownWorkload(t *testing.T) {
 	}
 }
 
+// TestContendersPlanWithoutBuilding covers the -list / -shard path for the
+// contenders experiment: planning, cost estimation, and shard assignment
+// must handle the new schemes' runs without building a single workload —
+// costs are workload-keyed, so victima and revelator rows estimate exactly
+// like radix ones.
+func TestContendersPlanWithoutBuilding(t *testing.T) {
+	cfg := tinyConfig()
+	exps, err := Select("contenders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(cfg, exps)
+
+	want := map[RunKey]bool{}
+	for _, name := range cfg.Workloads {
+		for _, s := range contenderSchemes {
+			want[RunKey{Workload: name, Scheme: s}] = true
+		}
+	}
+	if len(p.Runs) != len(want) {
+		t.Fatalf("plan has %d runs, want %d", len(p.Runs), len(want))
+	}
+	for _, k := range p.Runs {
+		if !want[k] {
+			t.Errorf("unexpected run %s", k)
+		}
+	}
+
+	r := NewRunner(cfg)
+	costs, err := r.EstimateCosts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWL := map[string]uint64{}
+	for i, k := range p.Runs {
+		if costs[i] == 0 {
+			t.Errorf("run %s estimated at zero cost", k)
+		}
+		if c, ok := perWL[k.Workload]; ok && c != costs[i] {
+			t.Errorf("run %s cost %d differs from its workload's %d (costs must be scheme-independent)",
+				k, costs[i], c)
+		}
+		perWL[k.Workload] = costs[i]
+	}
+
+	assign, err := r.AssignPlan(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for i, s := range assign {
+		if s < 0 || s >= 3 {
+			t.Fatalf("run %s assigned to shard %d", p.Runs[i], s)
+		}
+		used[s] = true
+	}
+	if len(used) != 3 {
+		t.Errorf("only %d of 3 shards used for %d runs", len(used), len(p.Runs))
+	}
+
+	r.mu.Lock()
+	built := len(r.wls)
+	r.mu.Unlock()
+	if built != 0 {
+		t.Errorf("planning built %d workloads; -list must not build any", built)
+	}
+}
+
 func TestSelectUnknownKey(t *testing.T) {
 	_, err := Select("fig9", "nope")
 	if err == nil || !strings.Contains(err.Error(), "nope") {

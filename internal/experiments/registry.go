@@ -346,6 +346,23 @@ func Registry() []Experiment {
 				return Result{Table: res.Table, Raw: res}, nil
 			},
 		},
+		{
+			// Appended after the paper's evaluation so every pre-existing
+			// experiment keeps its registry position (and therefore its row
+			// order in plans and JSON output).
+			Key:   "contenders",
+			Title: "Speculative contenders: Victima and Revelator vs radix and LVM (verify-overlap model)",
+			Requires: func(cfg Config) []RunKey {
+				return cross(cfg.Workloads, contenderSchemes, false)
+			},
+			Compute: func(r *Runner) (Result, error) {
+				res, err := r.Contenders()
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{Table: res.Table, Raw: res}, nil
+			},
+		},
 	}
 }
 

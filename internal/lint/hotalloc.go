@@ -25,27 +25,29 @@ import (
 // bug or an audited //lint:allow with a reason (e.g. the OS-side fault
 // path, which is software, not hardware).
 var hotAllocPkgs = map[string]bool{
-	ModulePath + "/internal/sim":      true,
-	ModulePath + "/internal/mmu":      true,
-	ModulePath + "/internal/tlb":      true,
-	ModulePath + "/internal/cache":    true,
-	ModulePath + "/internal/dram":     true,
-	ModulePath + "/internal/core":     true,
-	ModulePath + "/internal/radix":    true,
-	ModulePath + "/internal/ecpt":     true,
-	ModulePath + "/internal/fpt":      true,
-	ModulePath + "/internal/ideal":    true,
-	ModulePath + "/internal/asap":     true,
-	ModulePath + "/internal/gapped":   true,
-	ModulePath + "/internal/hashpt":   true,
-	ModulePath + "/internal/model":    true,
-	ModulePath + "/internal/blake2b":  true,
-	ModulePath + "/internal/fixed":    true,
-	ModulePath + "/internal/addr":     true,
-	ModulePath + "/internal/pte":      true,
-	ModulePath + "/internal/stats":    true,
-	ModulePath + "/internal/vas":      true,
-	ModulePath + "/internal/workload": true,
+	ModulePath + "/internal/sim":       true,
+	ModulePath + "/internal/mmu":       true,
+	ModulePath + "/internal/tlb":       true,
+	ModulePath + "/internal/cache":     true,
+	ModulePath + "/internal/dram":      true,
+	ModulePath + "/internal/core":      true,
+	ModulePath + "/internal/radix":     true,
+	ModulePath + "/internal/ecpt":      true,
+	ModulePath + "/internal/fpt":       true,
+	ModulePath + "/internal/ideal":     true,
+	ModulePath + "/internal/asap":      true,
+	ModulePath + "/internal/victima":   true,
+	ModulePath + "/internal/revelator": true,
+	ModulePath + "/internal/gapped":    true,
+	ModulePath + "/internal/hashpt":    true,
+	ModulePath + "/internal/model":     true,
+	ModulePath + "/internal/blake2b":   true,
+	ModulePath + "/internal/fixed":     true,
+	ModulePath + "/internal/addr":      true,
+	ModulePath + "/internal/pte":       true,
+	ModulePath + "/internal/stats":     true,
+	ModulePath + "/internal/vas":       true,
+	ModulePath + "/internal/workload":  true,
 }
 
 func inHotAllocScope(path string) bool { return hotAllocPkgs[StripVariant(path)] }

@@ -25,6 +25,14 @@ import (
 // Outcome is the trace of one hardware page walk. The request trace
 // (Group/AllRefs) aliases the walker's reusable buffer and is valid only
 // until that walker's next Walk; callers that need it longer must copy.
+//
+// A trace optionally carries a verify region: a suffix of trailing groups
+// (marked via WalkBuf.BeginVerify) that resolves speculation rather than the
+// translation itself. The critical prefix must complete before the data
+// access can start; the verify suffix runs concurrently with it, so the
+// simulator charges max(verify, access) instead of their sum. Traces without
+// a verify region (every non-speculative scheme) are charged exactly as
+// before.
 type Outcome struct {
 	Entry pte.Entry
 	Found bool
@@ -37,6 +45,9 @@ type Outcome struct {
 	// are sequential, requests within one group are issued in parallel.
 	pas  []addr.PA
 	ends []int
+	// verifyGroups counts the trailing groups forming the verify suffix;
+	// zero means no verify region (the flat pre-speculation contract).
+	verifyGroups int
 }
 
 // Refs returns the total number of memory requests — the page-walk-traffic
@@ -62,11 +73,38 @@ func (o Outcome) Group(i int) []addr.PA {
 // across groups — a read-only view into the walker's buffer.
 func (o Outcome) AllRefs() []addr.PA { return o.pas[:len(o.pas):len(o.pas)] }
 
+// VerifyGroups returns the number of trailing groups in the verify suffix
+// (0 = no verify region).
+func (o Outcome) VerifyGroups() int { return o.verifyGroups }
+
+// CriticalGroups returns the number of leading groups on the critical
+// resolve path — everything the data access must wait for. With no verify
+// region this is NumGroups.
+func (o Outcome) CriticalGroups() int { return len(o.ends) - o.verifyGroups }
+
+// HasVerify reports whether the walk carries an overlappable verify suffix.
+func (o Outcome) HasVerify() bool { return o.verifyGroups > 0 }
+
 // Latency is a helper for tests: sequential sum over groups of the max of a
-// fixed per-request latency.
+// fixed per-request latency, ignoring verify overlap. Identical to
+// OverlapLatency with a zero access (nothing to hide the suffix behind).
 func (o Outcome) Latency(perRef, walkCache int) int {
 	// Every group carries at least one request, so each charges perRef.
 	return o.WalkCacheCycles*walkCache + len(o.ends)*perRef
+}
+
+// OverlapLatency is the overlap-aware companion of Latency for tests: the
+// critical prefix is serial as before, while the verify suffix runs
+// concurrently with a data access of the given latency — the walk's exposed
+// cost is the prefix plus max(verify, access). With no verify region this
+// degenerates to Latency(perRef, walkCache) + access.
+func (o Outcome) OverlapLatency(perRef, walkCache, access int) int {
+	crit := o.WalkCacheCycles*walkCache + o.CriticalGroups()*perRef
+	tail := o.verifyGroups * perRef
+	if access > tail {
+		tail = access
+	}
+	return crit + tail
 }
 
 // WalkBuf is the reusable walk-trace buffer a walker owns. A walk resets
@@ -80,6 +118,11 @@ type WalkBuf struct {
 	// collapse folds every group into one (ASAP issues its prefetches and
 	// the validating radix walk as a single parallel burst).
 	collapse bool
+	// verifyMark, when non-zero, is 1 + the number of groups sealed before
+	// BeginVerify was called: groups from that index on form the verify
+	// suffix. Zero (the zero value and the Reset state) means no verify
+	// region.
+	verifyMark int
 }
 
 // Reset clears the buffer for a new walk, retaining capacity.
@@ -87,11 +130,23 @@ func (b *WalkBuf) Reset() {
 	b.pas = b.pas[:0]
 	b.ends = b.ends[:0]
 	b.collapse = false
+	b.verifyMark = 0
 }
 
 // Collapse makes every subsequent group boundary fold into a single
 // parallel group, until the next Reset.
 func (b *WalkBuf) Collapse() { b.collapse = true }
+
+// BeginVerify seals the critical prefix and marks everything appended from
+// here on as the verify suffix — the requests that resolve speculation
+// concurrently with the data access (Outcome's verify region). A walk that
+// appends nothing after the mark seals with no verify region. BeginVerify
+// does not compose with Collapse: a collapsed trace is one parallel group,
+// so the mark would select an empty suffix.
+func (b *WalkBuf) BeginVerify() {
+	b.closeGroup()
+	b.verifyMark = len(b.ends) + 1
+}
 
 // closeGroup seals the requests appended since the last boundary into a
 // group. Empty groups are never recorded.
@@ -129,7 +184,12 @@ func (b *WalkBuf) AddGroup(pas ...addr.PA) {
 // until the buffer's next Reset.
 func (b *WalkBuf) Outcome(e pte.Entry, found bool, walkCacheCycles int) Outcome {
 	b.closeGroup()
-	return Outcome{Entry: e, Found: found, WalkCacheCycles: walkCacheCycles, pas: b.pas, ends: b.ends}
+	vg := 0
+	if b.verifyMark > 0 {
+		vg = len(b.ends) - (b.verifyMark - 1)
+	}
+	return Outcome{Entry: e, Found: found, WalkCacheCycles: walkCacheCycles,
+		pas: b.pas, ends: b.ends, verifyGroups: vg}
 }
 
 // Walker is a hardware page table walker.
@@ -210,6 +270,7 @@ func WalkSerial(w Walker, asid uint16, vpns []addr.VPN, bufs *WalkBatchBuf) {
 			WalkCacheCycles: out.WalkCacheCycles,
 			pas:             b.pas,
 			ends:            b.ends,
+			verifyGroups:    out.verifyGroups,
 		}
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"lvm/internal/phys"
 	"lvm/internal/pte"
 	"lvm/internal/radix"
+	"lvm/internal/revelator"
 	"lvm/internal/vas"
+	"lvm/internal/victima"
 )
 
 // Scheme selects the page-table structure.
@@ -37,11 +39,17 @@ const (
 	SchemeFPT     Scheme = "fpt"
 	SchemeASAP    Scheme = "asap"
 	SchemeMidgard Scheme = "midgard" // radix tables; walk gating done by the simulator
+	// SchemeVictima parks TLB-extending translation entries in the modeled
+	// L2 (evicted under cache pressure); SchemeRevelator resolves misses
+	// speculatively from a hash table with an overlapped radix verify walk.
+	SchemeVictima   Scheme = "victima"
+	SchemeRevelator Scheme = "revelator"
 )
 
 // AllSchemes lists every supported scheme.
 func AllSchemes() []Scheme {
-	return []Scheme{SchemeRadix, SchemeECPT, SchemeLVM, SchemeIdeal, SchemeFPT, SchemeASAP, SchemeMidgard}
+	return []Scheme{SchemeRadix, SchemeECPT, SchemeLVM, SchemeIdeal, SchemeFPT, SchemeASAP, SchemeMidgard,
+		SchemeVictima, SchemeRevelator}
 }
 
 // MgmtCosts model the software cost, in cycles, of LVM maintenance
@@ -72,12 +80,14 @@ type System struct {
 	LVMParams core.Params
 	Costs     MgmtCosts
 
-	radWalker   *radix.Walker
-	ecptWalker  *ecpt.Walker
-	lvmWalker   *core.HWWalker
-	idealWalker *ideal.Walker
-	fptWalker   *fpt.Walker
-	asapWalker  *asap.Walker
+	radWalker     *radix.Walker
+	ecptWalker    *ecpt.Walker
+	lvmWalker     *core.HWWalker
+	idealWalker   *ideal.Walker
+	fptWalker     *fpt.Walker
+	asapWalker    *asap.Walker
+	victimaWalker *victima.Walker
+	revWalker     *revelator.Walker
 
 	procs map[uint16]*Process
 
@@ -108,12 +118,14 @@ type Process struct {
 	THP   bool
 	Norm  *vas.Normalizer
 
-	RadixT *radix.Table
-	EcptT  *ecpt.Table
-	LvmIx  *core.Index
-	IdealT *ideal.Table
-	FptT   *fpt.Table
-	AsapT  *asap.Table
+	RadixT   *radix.Table
+	EcptT    *ecpt.Table
+	LvmIx    *core.Index
+	IdealT   *ideal.Table
+	FptT     *fpt.Table
+	AsapT    *asap.Table
+	VictimaT *victima.Table
+	RevT     *revelator.Table
 
 	// MgmtCycles accumulates the software cost of page-table management.
 	MgmtCycles uint64
@@ -177,6 +189,10 @@ func NewSystemHW(mem *phys.Memory, scheme Scheme, hw HWConfig) *System {
 		s.fptWalker = fpt.NewWalker()
 	case SchemeASAP:
 		s.asapWalker = asap.NewWalker()
+	case SchemeVictima:
+		s.victimaWalker = victima.NewWalker()
+	case SchemeRevelator:
+		s.revWalker = revelator.NewWalker()
 	default:
 		panic(fmt.Sprintf("oskernel: unknown scheme %q", scheme))
 	}
@@ -198,6 +214,10 @@ func (s *System) Walker() mmu.Walker {
 		return s.fptWalker
 	case SchemeASAP:
 		return s.asapWalker
+	case SchemeVictima:
+		return s.victimaWalker
+	case SchemeRevelator:
+		return s.revWalker
 	}
 	return nil
 }
@@ -359,6 +379,32 @@ func (s *System) buildTables(p *Process, mappings []mapping) error {
 		}
 		p.AsapT = t
 		s.asapWalker.Attach(p.ASID, t)
+
+	case SchemeVictima:
+		t, err := victima.New(s.Mem)
+		if err != nil {
+			return err
+		}
+		for _, m := range mappings {
+			if err := t.Map(m.vpn, m.e); err != nil {
+				return err
+			}
+		}
+		p.VictimaT = t
+		s.victimaWalker.Attach(p.ASID, t)
+
+	case SchemeRevelator:
+		t, err := revelator.New(s.Mem, len(mappings))
+		if err != nil {
+			return err
+		}
+		for _, m := range mappings {
+			if err := t.Map(m.vpn, m.e); err != nil {
+				return err
+			}
+		}
+		p.RevT = t
+		s.revWalker.Attach(p.ASID, t)
 	}
 	return nil
 }
@@ -393,6 +439,10 @@ func (s *System) MapPage(asid uint16, v addr.VPN, size addr.PageSize) error {
 		return p.FptT.Map(v, e)
 	case SchemeASAP:
 		return p.AsapT.Map(v, e)
+	case SchemeVictima:
+		return p.VictimaT.Map(v, e)
+	case SchemeRevelator:
+		return p.RevT.Map(v, e)
 	case SchemeLVM:
 		before := p.LvmIx.Stats()
 		err := p.LvmIx.Insert(core.Mapping{VPN: p.Norm.Normalize(v), Entry: e})
@@ -430,6 +480,10 @@ func (s *System) UnmapPage(asid uint16, v addr.VPN) bool {
 		ok = p.FptT.Unmap(v)
 	case SchemeASAP:
 		ok = p.AsapT.Unmap(v)
+	case SchemeVictima:
+		ok = p.VictimaT.Unmap(v)
+	case SchemeRevelator:
+		ok = p.RevT.Unmap(v)
 	case SchemeLVM:
 		ok = p.LvmIx.Free(p.Norm.Normalize(v))
 	}
@@ -483,6 +537,10 @@ func (s *System) Protect(asid uint16, v addr.VPN, set, clear pte.Entry) bool {
 		err = p.FptT.Map(aligned, ne)
 	case SchemeASAP:
 		err = p.AsapT.Map(aligned, ne)
+	case SchemeVictima:
+		err = p.VictimaT.Map(aligned, ne)
+	case SchemeRevelator:
+		err = p.RevT.Map(aligned, ne)
 	}
 	return err == nil
 }
@@ -516,6 +574,12 @@ func (s *System) Kill(asid uint16) error {
 	case SchemeASAP:
 		p.AsapT.Release()
 		s.asapWalker.Detach(asid)
+	case SchemeVictima:
+		p.VictimaT.Release()
+		s.victimaWalker.Detach(asid)
+	case SchemeRevelator:
+		p.RevT.Release()
+		s.revWalker.Detach(asid)
 	case SchemeLVM:
 		p.LvmIx.Release()
 		s.lvmWalker.Detach(asid)
@@ -553,6 +617,10 @@ func (s *System) SoftwareLookup(asid uint16, v addr.VPN) (pte.Entry, bool) {
 		return p.FptT.Lookup(v)
 	case SchemeASAP:
 		return p.AsapT.Lookup(v)
+	case SchemeVictima:
+		return p.VictimaT.Lookup(v)
+	case SchemeRevelator:
+		return p.RevT.Lookup(v)
 	case SchemeLVM:
 		r := p.LvmIx.Walk(p.Norm.Normalize(v))
 		return r.Entry, r.Found
@@ -576,6 +644,10 @@ func (s *System) TableOverheadBytes(asid uint16) uint64 {
 		used = p.EcptT.TableBytes()
 	case SchemeLVM:
 		used = p.LvmIx.TableFootprintBytes() + uint64(p.LvmIx.SizeBytes())
+	case SchemeVictima:
+		used = p.VictimaT.TableBytes()
+	case SchemeRevelator:
+		used = p.RevT.TableBytes()
 	default:
 		return 0
 	}

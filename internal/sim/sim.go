@@ -222,8 +222,16 @@ func (c *CPU) Caches() *cache.Hierarchy { return c.caches }
 // groups are sequential, requests within a group run in parallel (their
 // latency is the max). The outcome's trace is a view into the walker's
 // buffer, consumed here before the next walk can reset it.
-func (c *CPU) walkLatency(out mmu.Outcome) float64 {
-	lat := float64(out.WalkCacheCycles)
+//
+// The returned pair splits the walk at the verify boundary: critical is the
+// resolve prefix the data access must wait for, verify the overlappable
+// suffix (zero for traces without a verify region). For a no-verify trace
+// every group accrues into critical through the single accumulator below, in
+// group order — the exact float-operation sequence of the pre-overlap model,
+// which is what keeps the seven non-speculative schemes bit-identical.
+func (c *CPU) walkLatency(out mmu.Outcome) (critical, verify float64) {
+	critical = float64(out.WalkCacheCycles)
+	vstart := out.CriticalGroups()
 	for gi, groups := 0, out.NumGroups(); gi < groups; gi++ {
 		groupMax := 0
 		for _, pa := range out.Group(gi) {
@@ -231,42 +239,57 @@ func (c *CPU) walkLatency(out mmu.Outcome) float64 {
 				groupMax = l
 			}
 		}
-		lat += float64(groupMax)
+		if gi < vstart {
+			critical += float64(groupMax)
+		} else {
+			verify += float64(groupMax)
+		}
 	}
-	return lat
+	return critical, verify
 }
 
 // translate charges the TLB lookup and, on an L2 TLB miss, the hardware
 // page walk — the translation accounting shared by step and stepMidgard.
 // Cycle components accrue onto res and *lat in arrival order (so latency
 // sums stay bit-identical wherever they are accumulated); it returns the
-// translation and whether the access faulted on an unmapped page.
-func (c *CPU) translate(asid uint16, v addr.VPN, res *Result, lat *float64) (pte.Entry, bool) {
+// translation, the walk's pending verify latency (the overlappable suffix,
+// zero for non-speculative schemes — the caller charges its exposed excess
+// over the data access), and whether the access faulted on an unmapped
+// page. A faulting walk has nothing to overlap with, so its verify suffix
+// is charged here in full.
+func (c *CPU) translate(asid uint16, v addr.VPN, res *Result, lat *float64) (pte.Entry, float64, bool) {
 	tr, hit := c.tlbs.Lookup(asid, v)
 	res.TLBCycles += float64(tr.Latency)
 	res.Cycles += float64(tr.Latency)
 	*lat += float64(tr.Latency)
 	entry := tr.Entry
+	verify := 0.0
 	if !hit {
 		res.L2TLBMisses++
 		out := c.walker.Walk(asid, v)
 		res.Walks++
 		res.WalkRefs += uint64(out.Refs())
-		wlat := c.walkLatency(out)
+		wlat, wver := c.walkLatency(out)
 		res.WalkCycles += wlat
 		res.Cycles += wlat
 		*lat += wlat
 		if !out.Found {
+			if wver != 0 {
+				res.WalkCycles += wver
+				res.Cycles += wver
+				*lat += wver
+			}
 			res.Faults++
-			return 0, true
+			return 0, 0, true
 		}
+		verify = wver
 		entry = out.Entry
 		c.tlbs.Fill(asid, v, entry)
 	}
 	if !tr.HitL1 {
 		res.L1TLBMisses++
 	}
-	return entry, false
+	return entry, verify, false
 }
 
 // Run simulates a trace for one process (ASID) and returns the metrics.
@@ -437,28 +460,45 @@ func (c *CPU) TranslateBatch(asid uint16, accesses []workload.Access, instrs int
 		res.TLBCycles += float64(r.tlbLat)
 		res.Cycles += float64(r.tlbLat)
 		lat += float64(r.tlbLat)
+		verify := 0.0
 		if r.miss {
 			res.L2TLBMisses++
 			out := c.batch.bufs.Outcome(int(r.slot))
 			res.Walks++
 			res.WalkRefs += uint64(out.Refs())
-			wlat := c.walkLatency(out)
+			wlat, wver := c.walkLatency(out)
 			res.WalkCycles += wlat
 			res.Cycles += wlat
 			lat += wlat
 			if r.fault {
+				// A faulting walk has no data access to overlap with.
+				if wver != 0 {
+					res.WalkCycles += wver
+					res.Cycles += wver
+					lat += wver
+				}
 				res.Faults++
 				if lats != nil {
 					lats[k] = lat
 				}
 				continue
 			}
+			verify = wver
 		}
 		if !r.hitL1 {
 			res.L1TLBMisses++
 		}
 		pa := addr.Translate(r.va, r.entry.PPN(), r.entry.Size())
 		dataLat := float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
+		// Verify-overlap: same accounting as step — only the suffix's excess
+		// over the exposed data latency is charged (zero extra float ops for
+		// non-speculative schemes).
+		if verify > dataLat {
+			exposed := verify - dataLat
+			res.WalkCycles += exposed
+			res.Cycles += exposed
+			lat += exposed
+		}
 		res.Cycles += dataLat
 		lat += dataLat
 		if lats != nil {
@@ -538,6 +578,9 @@ func (c *CPU) forwardStep(asid uint16, a workload.Access) {
 // forwardTranslate performs translate's state operations — TLB probe, the
 // walk with its memory requests charged to the caches, the TLB fill —
 // without accounting. Returns the entry and whether the page is mapped.
+// Verify-region requests are state operations like any other (the verify
+// walk really touches the caches; only its latency overlaps), so the loop
+// below deliberately spans critical and verify groups alike.
 func (c *CPU) forwardTranslate(asid uint16, v addr.VPN) (pte.Entry, bool) {
 	tr, hit := c.tlbs.Lookup(asid, v)
 	if hit {
@@ -576,14 +619,24 @@ func (c *CPU) step(asid uint16, a workload.Access, instrs int, extra float64, re
 	}
 
 	// 1. TLB, and on an L2 TLB miss 2. the page walk.
-	entry, fault := c.translate(asid, v, res, &lat)
+	entry, verify, fault := c.translate(asid, v, res, &lat)
 	if fault {
 		return lat
 	}
 
-	// 3. Data access.
+	// 3. Data access, overlapped with the walk's verify suffix: the access
+	// proceeds on the speculative translation while the verify walk runs, so
+	// the pair costs max(verify, access) — only the suffix's excess over the
+	// exposed data latency is charged, as walk cycles. Non-speculative
+	// schemes have verify == 0 and take no extra float operations here.
 	pa := addr.Translate(a.VA, entry.PPN(), entry.Size())
 	dataLat := float64(c.caches.Access(pa, false)) * (1 - c.cfg.DataOverlap)
+	if verify > dataLat {
+		exposed := verify - dataLat
+		res.WalkCycles += exposed
+		res.Cycles += exposed
+		lat += exposed
+	}
 	res.Cycles += dataLat
 	return lat + dataLat
 }
@@ -603,8 +656,16 @@ func (c *CPU) stepMidgard(asid uint16, a workload.Access, v addr.VPN, res *Resul
 	if !llcMiss {
 		return lat
 	}
-	// LLC miss: translate to reach memory (backside radix walk).
-	c.translate(asid, v, res, &lat)
+	// LLC miss: translate to reach memory (backside radix walk). The data
+	// access already completed, so a verify suffix would have nothing to
+	// overlap with — charge it in full (radix walks never carry one; verify
+	// stays zero on this path today).
+	_, verify, _ := c.translate(asid, v, res, &lat)
+	if verify != 0 {
+		res.WalkCycles += verify
+		res.Cycles += verify
+		lat += verify
+	}
 	return lat
 }
 
