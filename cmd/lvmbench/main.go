@@ -28,6 +28,16 @@
 //	lvmbench -cache ~/.cache/lvmbench         # persist run outputs; warm reruns skip sims
 //	lvmbench -shard 0/2 -list                 # show the cost-balanced assignment
 //
+// The orchestrator runs the same sweep across live worker processes
+// instead of pre-partitioned shards (see EXPERIMENTS.md "Orchestrated
+// sweeps"): the coordinator owns the plan and hands runs out cost-aware
+// largest-first, idle workers steal from stragglers, failures retry on a
+// different worker, and completed runs stream into -cache so an
+// interrupted sweep resumes without re-simulating:
+//
+//	lvmbench -serve 127.0.0.1:7077 -cache dir -json out.json   # coordinator
+//	lvmbench -worker 127.0.0.1:7077 -j 8                       # each worker host
+//
 // The -json document is schema-versioned and byte-identical at any -j
 // (unless -timings adds the machine-dependent host_seconds fields); CI
 // diffs it against the committed bench_baseline.json with cmd/benchgate.
@@ -43,17 +53,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"lvm/internal/experiments"
+	"lvm/internal/experiments/orch"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload scale")
-	only := flag.String("only", "", "comma-separated experiment keys: fig2, fig3, fig9, fig10, fig11, fig12, table2, collisions, retrain, memory, fragmentation, walkcaches, ptwl1, multitenancy, tail, hardware, priorwork, contenders")
+	only := flag.String("only", "", "comma-separated experiment keys: "+strings.Join(experiments.Keys(), ", "))
 	workers := flag.Int("j", runtime.NumCPU(), "simulation worker goroutines")
 	memGiB := flag.Uint64("mem", 0, "memory budget in GiB bounding the summed simulated footprint of in-flight runs (0 = default 32)")
 	list := flag.Bool("list", false, "print the selected experiments and deduped run matrix with estimated costs, then exit without executing")
@@ -64,6 +76,8 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent run-output cache directory; completed runs are stored there and warm sweeps skip their simulations")
 	warmup := flag.Int("warmup", 0, "fast-forward the first N accesses of every run through functional state before measuring (changes measured counters; part of the run key and config fingerprint)")
 	batch := flag.Int("batch", 0, "translation pipeline chunk size; pure performance knob, every value produces bit-identical output (0 = default, 1 = scalar path)")
+	serve := flag.String("serve", "", "listen on this address as the sweep coordinator: dispatch the plan's runs to -worker processes, then render tables locally")
+	worker := flag.String("worker", "", "connect to a coordinator at this address and execute assigned runs with -j local workers until the sweep shuts down")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the sweep to this path")
 	flag.Parse()
@@ -121,6 +135,8 @@ func main() {
 		cacheDir:  *cacheDir,
 		warmup:    *warmup,
 		batch:     *batch,
+		serve:     *serve,
+		worker:    *worker,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "lvmbench: %v\n", err)
 		os.Exit(1)
@@ -141,9 +157,26 @@ type options struct {
 	cacheDir  string
 	warmup    int
 	batch     int
+	serve     string
+	worker    string
 }
 
 func run(o options) error {
+	if o.worker != "" {
+		switch {
+		case o.serve != "":
+			return fmt.Errorf("-worker and -serve are mutually exclusive: a process is either a coordinator or a worker")
+		case o.shard != "", o.merge != "", o.list:
+			return fmt.Errorf("-worker takes its runs from the coordinator; -shard/-merge/-list do not apply")
+		case o.jsonPath != "", o.cacheDir != "", o.only != "":
+			return fmt.Errorf("-json/-cache/-only belong on the coordinator; the worker only executes assigned runs")
+		}
+		return runWorker(o)
+	}
+	if o.serve != "" && (o.shard != "" || o.merge != "" || o.list) {
+		return fmt.Errorf("-serve owns the whole plan; -shard/-merge/-list do not apply")
+	}
+
 	if o.merge != "" {
 		if o.shard != "" {
 			return fmt.Errorf("-merge and -shard are mutually exclusive: shards execute, merge recombines")
@@ -196,6 +229,29 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	if o.serve != "" {
+		ln, err := net.Listen("tcp", o.serve)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		defer ln.Close() // Serve closes it too; this covers the fully-warm early return
+		fmt.Fprintf(os.Stderr, "plan: %d experiments, %d deduped runs, serving on %s\n",
+			len(plan.Experiments), len(plan.Runs), ln.Addr())
+		if err := orch.Serve(ln, r, plan, orch.Options{Cache: opt.Cache}); err != nil {
+			return err
+		}
+		// Every run is installed now; ExecutePlan below dispatches zero
+		// simulations and renders the tables exactly as an unsharded run.
+		results, err := r.ExecutePlan(plan, opt)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			fmt.Print(res.Render())
+		}
+		return writeRunsJSON(r, plan, o)
 	}
 
 	if o.shard != "" {
@@ -268,6 +324,39 @@ func runMerge(o options) error {
 	}
 
 	return writeRunsJSON(r, plan, o)
+}
+
+// runWorker connects to a coordinator and executes assigned runs until the
+// sweep shuts down. The worker builds its config from the same scale flags
+// as the coordinator (-quick/-warmup/-batch); the handshake's config
+// fingerprint catches any mismatch before a single run is dispatched.
+func runWorker(o options) error {
+	cfg := experiments.Default()
+	if o.quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Warmup = o.warmup
+	cfg.Sim.BatchSize = o.batch
+	fp, err := cfg.Fingerprint()
+	if err != nil {
+		return err
+	}
+
+	r := experiments.NewRunner(cfg)
+	r.SetSink(experiments.NewWriterSink(os.Stderr))
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	w := &orch.Worker{
+		Exec:        r.ExecuteKey,
+		Fingerprint: fp,
+		Name:        fmt.Sprintf("%s:%d", host, os.Getpid()),
+		Capacity:    o.workers,
+		BudgetBytes: o.memGiB << 30,
+	}
+	fmt.Fprintf(os.Stderr, "worker %s: connecting to %s (%d slots)\n", w.Name, o.worker, o.workers)
+	return w.Run(o.worker)
 }
 
 func writeRunsJSON(r *experiments.Runner, plan experiments.Plan, o options) error {

@@ -36,6 +36,34 @@ type MemSink interface {
 	RunHostMem(key RunKey, s sched.MemSample)
 }
 
+// OrchSink is an optional Sink extension for the sweep orchestrator: sinks
+// that also implement it receive per-worker lifecycle and dispatch events.
+// All of it is observational scheduling detail — which worker ran a key,
+// steals, retries — and must stay off streams compared across runs.
+type OrchSink interface {
+	// WorkerConnected fires when a worker passes the handshake.
+	WorkerConnected(worker, remote string, capacity int)
+	// WorkerGone fires when a worker's connection ends (err is nil on a
+	// clean shutdown).
+	WorkerGone(worker string, err error)
+	// RunAssigned fires when a run is dispatched to a worker; steal marks
+	// a duplicate dispatch of a straggler's outstanding run.
+	RunAssigned(key RunKey, worker string, steal bool)
+	// RunRetry fires when a failed run is queued for another attempt.
+	RunRetry(key RunKey, attempt, max int, reason string)
+	// RunDuplicate fires when a completion arrives for a run that already
+	// finished elsewhere (the losing side of a steal); it is discarded.
+	RunDuplicate(key RunKey, worker string)
+}
+
+// ArtifactSink is an optional Sink extension: sinks that also implement it
+// learn when a bespoke compute-phase measurement is satisfied from (or
+// persisted to) the run cache's artifact store.
+type ArtifactSink interface {
+	ArtifactCached(name string)
+	ArtifactStored(name string)
+}
+
 // NopSink discards all events; it is the default for benchmarks and tests.
 type NopSink struct{}
 
@@ -82,6 +110,42 @@ func (s *WriterSink) RunCached(key RunKey) {
 func (s *WriterSink) RunHostMem(key RunKey, m sched.MemSample) {
 	s.printf("  mem     %s: %.1f MiB allocated, %.1f MiB heap in use",
 		key, float64(m.AllocBytes)/(1<<20), float64(m.HeapInuseBytes)/(1<<20))
+}
+
+func (s *WriterSink) WorkerConnected(worker, remote string, capacity int) {
+	s.printf("  worker  %s joined (%s, capacity %d)", worker, remote, capacity)
+}
+
+func (s *WriterSink) WorkerGone(worker string, err error) {
+	if err != nil {
+		s.printf("  worker  %s left: %v", worker, err)
+		return
+	}
+	s.printf("  worker  %s done", worker)
+}
+
+func (s *WriterSink) RunAssigned(key RunKey, worker string, steal bool) {
+	if steal {
+		s.printf("  steal   %s -> %s", key, worker)
+		return
+	}
+	s.printf("  assign  %s -> %s", key, worker)
+}
+
+func (s *WriterSink) RunRetry(key RunKey, attempt, max int, reason string) {
+	s.printf("  retry   %s (attempt %d/%d): %s", key, attempt, max, reason)
+}
+
+func (s *WriterSink) RunDuplicate(key RunKey, worker string) {
+	s.printf("  dup     %s from %s (discarded)", key, worker)
+}
+
+func (s *WriterSink) ArtifactCached(name string) {
+	s.printf("  cached  artifact %s", name)
+}
+
+func (s *WriterSink) ArtifactStored(name string) {
+	s.printf("  stored  artifact %s", name)
 }
 
 func (s *WriterSink) ExperimentStart(key, title string) {

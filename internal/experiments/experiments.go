@@ -136,6 +136,11 @@ type Runner struct {
 	Cfg  Config
 	sink Sink
 
+	// arts, when non-nil, persists the bespoke compute-phase measurements
+	// (artifactFor) alongside the run outputs. Set before ExecutePlan's
+	// sequential compute phase; never touched by scheduler workers.
+	arts *RunCache
+
 	mu   sync.Mutex
 	runs map[RunKey]*RunOutput         // guarded by mu
 	wls  map[string]*workload.Workload // guarded by mu
@@ -232,6 +237,35 @@ func (r *Runner) BuildWorkloads(names []string, workers int) error {
 		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
+}
+
+// Sink returns the installed progress event sink (never nil). The
+// orchestrator reports coordinator-side events through it, extended ones
+// via the optional OrchSink interface.
+func (r *Runner) Sink() Sink { return r.sink }
+
+// InstallRun stores a completed output under its key, exactly as if the
+// runner had simulated it locally: the seam MergeShards and the sweep
+// orchestrator use to feed remotely executed runs into the compute phase.
+func (r *Runner) InstallRun(key RunKey, out *RunOutput) { r.installRun(key, out) }
+
+// LookupRun returns the in-memory output for key, if present.
+func (r *Runner) LookupRun(key RunKey) (*RunOutput, bool) { return r.lookupRun(key) }
+
+// ExecuteKey simulates one run (reusing the in-memory output when the key
+// was already executed) and installs the result. It is the worker-side
+// execution entry point of the sweep orchestrator; errors come back
+// wrapped, naming the RunKey, exactly like the local execute path.
+func (r *Runner) ExecuteKey(key RunKey) (*RunOutput, error) {
+	if out, ok := r.lookupRun(key); ok {
+		return out, nil
+	}
+	out, err := r.execute(key)
+	if err != nil {
+		return nil, err
+	}
+	r.installRun(key, out)
+	return out, nil
 }
 
 // installRun stores a completed (or cache-restored) output under its key.

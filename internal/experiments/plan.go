@@ -144,6 +144,10 @@ func (r *Runner) ExecuteRuns(p Plan, opt ExecOptions) error {
 	schedOpt := sched.Options{
 		Workers:     opt.Workers,
 		BudgetBytes: opt.MemBudgetBytes,
+		// Correct footprint estimates with the observed host-memory samples
+		// as the sweep progresses; admission-only, so results and ordering
+		// stay byte-identical.
+		CostModel: sched.NewCostModel(),
 	}
 	if ms, ok := r.sink.(MemSink); ok {
 		schedOpt.ObserveMem = func(ti int, s sched.MemSample) {
@@ -179,6 +183,11 @@ func (r *Runner) ExecuteRuns(p Plan, opt ExecOptions) error {
 func (r *Runner) ExecutePlan(p Plan, opt ExecOptions) ([]Result, error) {
 	if opt.Shard.enabled() {
 		return nil, fmt.Errorf("experiments: ExecutePlan cannot compute tables from shard %s alone; use ExecuteRuns and merge the shards", opt.Shard)
+	}
+	if opt.Cache != nil {
+		// Let the compute phase's bespoke measurements persist their
+		// artifacts alongside the run outputs.
+		r.SetArtifactCache(opt.Cache)
 	}
 	if err := r.ExecuteRuns(p, opt); err != nil {
 		return nil, err

@@ -218,6 +218,27 @@ func TestContendersPlanWithoutBuilding(t *testing.T) {
 	}
 }
 
+// Keys drives the -only flag's help text; every key it lists must be
+// selectable and come back in registry order.
+func TestKeysMatchRegistry(t *testing.T) {
+	keys := Keys()
+	if len(keys) != len(Registry()) {
+		t.Fatalf("Keys() lists %d keys, registry has %d", len(keys), len(Registry()))
+	}
+	if keys[0] != "fig2" {
+		t.Errorf("first key %q, want fig2 (print order)", keys[0])
+	}
+	exps, err := Select(keys...)
+	if err != nil {
+		t.Fatalf("Keys() lists an unselectable key: %v", err)
+	}
+	for i, e := range exps {
+		if e.Key != keys[i] {
+			t.Errorf("key %d: Select order %q != Keys order %q", i, e.Key, keys[i])
+		}
+	}
+}
+
 func TestSelectUnknownKey(t *testing.T) {
 	_, err := Select("fig9", "nope")
 	if err == nil || !strings.Contains(err.Error(), "nope") {

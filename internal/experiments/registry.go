@@ -366,6 +366,18 @@ func Registry() []Experiment {
 	}
 }
 
+// Keys returns every registry key in registry (print) order. cmd/lvmbench
+// derives the -only help text and experiment listing from it so they can
+// never drift from the registry.
+func Keys() []string {
+	reg := Registry()
+	keys := make([]string, len(reg))
+	for i, e := range reg {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
 // Select returns the registry entries matching the given keys
 // (case-insensitive), in registry order; no keys selects everything.
 // Unknown keys are an error listing the valid ones.

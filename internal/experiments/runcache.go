@@ -51,23 +51,26 @@ func NewRunCache(root string, cfg Config) (*RunCache, error) {
 // Dir returns the namespace directory entries live in.
 func (c *RunCache) Dir() string { return c.dir }
 
+// sanitizeName makes a key component portable as a file-name fragment
+// (mem$ → mem_).
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
 // entryPath maps a RunKey to its file. Scheme names and THP are embedded
 // readably; the workload name is sanitized (mem$ → mem_) so every key maps
 // to a distinct portable file name.
 func (c *RunCache) entryPath(key RunKey) string {
-	san := func(s string) string {
-		var b strings.Builder
-		for _, r := range s {
-			switch {
-			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
-				b.WriteRune(r)
-			default:
-				b.WriteByte('_')
-			}
-		}
-		return b.String()
-	}
-	return filepath.Join(c.dir, fmt.Sprintf("%s__%s__thp-%t.json", san(key.Workload), san(string(key.Scheme)), key.THP))
+	return filepath.Join(c.dir, fmt.Sprintf("%s__%s__thp-%t.json", sanitizeName(key.Workload), sanitizeName(string(key.Scheme)), key.THP))
 }
 
 // Load returns the cached output for key. A missing entry is (nil, false,
@@ -118,23 +121,101 @@ func (c *RunCache) Store(key RunKey, out *RunOutput) error {
 	if err != nil {
 		return fmt.Errorf("run cache: %s: %w", key, err)
 	}
-	path := c.entryPath(key)
+	if err := c.writeAtomic(c.entryPath(key), b); err != nil {
+		return fmt.Errorf("run cache: %s: %w", key, err)
+	}
+	return nil
+}
+
+// writeAtomic lands b at path via a same-directory temp file + rename.
+func (c *RunCache) writeAtomic(path string, b []byte) error {
 	tmp, err := os.CreateTemp(c.dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("run cache: %s: %w", key, err)
+		return err
 	}
 	if _, err := tmp.Write(append(b, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("run cache: %s: writing %s: %w", key, tmp.Name(), err)
+		return fmt.Errorf("writing %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("run cache: %s: writing %s: %w", key, tmp.Name(), err)
+		return fmt.Errorf("writing %s: %w", tmp.Name(), err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("run cache: %s: %w", key, err)
+		return err
+	}
+	return nil
+}
+
+// artifactEntry is one persisted compute-phase measurement (see
+// artifactFor). Like cacheEntry it repeats the schema version and config
+// fingerprint so a stale or foreign file is a hard error, never a wrong
+// table.
+type artifactEntry struct {
+	SchemaVersion int             `json:"schema_version"`
+	Fingerprint   string          `json:"fingerprint"`
+	Name          string          `json:"name"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+// artifactPath maps an artifact name to its file. The "artifact--" prefix
+// keeps the namespace disjoint from run entries, whose names always
+// contain "__".
+func (c *RunCache) artifactPath(name string) string {
+	return filepath.Join(c.dir, "artifact--"+sanitizeName(name)+".json")
+}
+
+// LoadArtifact decodes the named artifact into v (a pointer). A missing
+// entry is (false, nil); a present but corrupt or mismatched entry is an
+// error naming the artifact and file.
+func (c *RunCache) LoadArtifact(name string, v any) (bool, error) {
+	path := c.artifactPath(name)
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("run cache: artifact %s: reading %s: %w", name, path, err)
+	}
+	var e artifactEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return false, fmt.Errorf("run cache: artifact %s: corrupt entry %s: %w", name, path, err)
+	}
+	if e.SchemaVersion != RunJSONSchemaVersion {
+		return false, fmt.Errorf("run cache: artifact %s: entry %s has schema v%d, want v%d", name, path, e.SchemaVersion, RunJSONSchemaVersion)
+	}
+	if e.Fingerprint != c.fingerprint {
+		return false, fmt.Errorf("run cache: artifact %s: entry %s has config fingerprint %.12s, want %.12s", name, path, e.Fingerprint, c.fingerprint)
+	}
+	if e.Name != name {
+		return false, fmt.Errorf("run cache: artifact %s: entry %s holds artifact %s", name, path, e.Name)
+	}
+	if err := json.Unmarshal(e.Payload, v); err != nil {
+		return false, fmt.Errorf("run cache: artifact %s: corrupt entry %s: %w", name, path, err)
+	}
+	return true, nil
+}
+
+// StoreArtifact persists one compute-phase measurement atomically.
+func (c *RunCache) StoreArtifact(name string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("run cache: artifact %s: %w", name, err)
+	}
+	e := artifactEntry{
+		SchemaVersion: RunJSONSchemaVersion,
+		Fingerprint:   c.fingerprint,
+		Name:          name,
+		Payload:       payload,
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("run cache: artifact %s: %w", name, err)
+	}
+	if err := c.writeAtomic(c.artifactPath(name), b); err != nil {
+		return fmt.Errorf("run cache: artifact %s: %w", name, err)
 	}
 	return nil
 }

@@ -197,6 +197,24 @@ func decodeRunOutput(d runOutputDoc) (*RunOutput, error) {
 	}, nil
 }
 
+// MarshalRunOutput serializes out through the lossless wire form (minus
+// HostSeconds; see the file comment). The orchestrator's wire protocol and
+// any other transport that moves RunOutputs between processes must go
+// through this pair so transported runs stay byte-identical to local ones.
+func MarshalRunOutput(out *RunOutput) ([]byte, error) {
+	return json.Marshal(encodeRunOutput(out))
+}
+
+// UnmarshalRunOutput is the inverse of MarshalRunOutput. HostSeconds comes
+// back zero; transports carry it separately if they want timings.
+func UnmarshalRunOutput(b []byte) (*RunOutput, error) {
+	var d runOutputDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	return decodeRunOutput(d)
+}
+
 // Fingerprint hashes the full sweep configuration together with the
 // document schema version. Shard documents must carry matching
 // fingerprints to merge, and the run cache namespaces its entries by it,

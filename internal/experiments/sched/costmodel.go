@@ -1,0 +1,68 @@
+package sched
+
+import "sync"
+
+// A CostModel corrects static footprint estimates with the host-memory
+// samples Run already collects: after each task completes, the ratio of
+// observed live heap to the task's estimate is blended into a running
+// correction factor, and subsequent admissions charge the corrected cost
+// against Options.BudgetBytes. The model only influences admission — when
+// a task may start — never results or their order, so batch output stays
+// byte-identical with or without it.
+//
+// All arithmetic is integer per-mille (factor 1000 = 1.0x): the lvmlint
+// floatfree discipline aside, integer blending keeps the factor exactly
+// reproducible for the unit test that pins it.
+type CostModel struct {
+	mu sync.Mutex
+	// factorPerMille is the current correction in thousandths; 1000 means
+	// estimates are charged as-is. guarded by mu.
+	factorPerMille uint64
+}
+
+const (
+	// costFactorMin/Max clamp each observation's ratio before blending, so
+	// one wild sample (a tiny estimate, a GC-inflated heap) cannot swing
+	// admissions by more than 4x in either direction.
+	costFactorMin = 250  // 0.25x
+	costFactorMax = 4000 // 4.0x
+)
+
+// NewCostModel returns a model with a neutral (1.0x) correction.
+func NewCostModel() *CostModel {
+	return &CostModel{factorPerMille: 1000}
+}
+
+// Corrected returns the estimate scaled by the current correction factor.
+func (m *CostModel) Corrected(estimateBytes uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return estimateBytes * m.factorPerMille / 1000
+}
+
+// Observe blends one completed task's observed live heap against its
+// estimate into the correction factor with an exponential moving average
+// (weight 1/4 on the new sample). Zero estimates carry no signal and are
+// skipped.
+func (m *CostModel) Observe(estimateBytes uint64, s MemSample) {
+	if estimateBytes == 0 {
+		return
+	}
+	ratio := s.HeapInuseBytes * 1000 / estimateBytes
+	if ratio < costFactorMin {
+		ratio = costFactorMin
+	}
+	if ratio > costFactorMax {
+		ratio = costFactorMax
+	}
+	m.mu.Lock()
+	m.factorPerMille = (3*m.factorPerMille + ratio) / 4
+	m.mu.Unlock()
+}
+
+// FactorPerMille reports the current correction factor in thousandths.
+func (m *CostModel) FactorPerMille() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.factorPerMille
+}

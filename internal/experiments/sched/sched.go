@@ -45,6 +45,11 @@ type Options struct {
 	// are observational — they never influence results or scheduling —
 	// and implementations must be safe for concurrent calls from workers.
 	ObserveMem func(taskIndex int, s MemSample)
+	// CostModel, when non-nil, corrects each task's CostBytes with the
+	// host-memory samples of already-completed tasks before charging it
+	// against BudgetBytes, and is fed every completed task's sample. It
+	// affects only admission timing, never results or their order.
+	CostModel *CostModel
 }
 
 // MemSample is a host-side memory observation for one task, taken with
@@ -151,17 +156,28 @@ func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([
 					return
 				}
 				t := tasks[i]
-				bud.acquire(t.CostBytes)
+				// Charge the (possibly corrected) cost, and release exactly
+				// what was charged even if the model has since moved.
+				charge := t.CostBytes
+				if opt.CostModel != nil {
+					charge = opt.CostModel.Corrected(t.CostBytes)
+				}
+				bud.acquire(charge)
 				var v V
 				var err error
-				if opt.ObserveMem != nil {
+				if opt.ObserveMem != nil || opt.CostModel != nil {
 					var s MemSample
 					v, err, s = sampleMem(exec, t.Key)
-					opt.ObserveMem(i, s)
+					if opt.ObserveMem != nil {
+						opt.ObserveMem(i, s)
+					}
+					if opt.CostModel != nil {
+						opt.CostModel.Observe(t.CostBytes, s)
+					}
 				} else {
 					v, err = exec(t.Key)
 				}
-				bud.release(t.CostBytes)
+				bud.release(charge)
 				// Each goroutine writes only its own slots; the final
 				// wg.Wait orders these writes before any read.
 				out[i] = v

@@ -21,13 +21,12 @@ type TailLatencyResult struct {
 	ChurnOps int
 	// MgmtCyclesCharged is the total management time injected.
 	MgmtCyclesCharged uint64
-	Table             *stats.Table
+	Table             *stats.Table `json:"-"`
 }
 
-// TailLatency reproduces §7.3's memcached tail study: request latencies
-// are measured with the OS continuously mapping and unmapping pages (the
-// LVM maintenance path) between requests; p99 must be unaffected.
-func (r *Runner) TailLatency() (TailLatencyResult, error) {
+// measureTail runs the quiescent and churning memcached simulations and
+// collects the study's percentiles and churn counters.
+func (r *Runner) measureTail() (TailLatencyResult, error) {
 	var res TailLatencyResult
 	w, err := r.Workload("mem$")
 	if err != nil {
@@ -81,6 +80,19 @@ func (r *Runner) TailLatency() (TailLatencyResult, error) {
 		return TailLatencyResult{}, err
 	}
 	if res.ChurnP50, res.ChurnP99, err = run(true); err != nil {
+		return TailLatencyResult{}, err
+	}
+	return res, nil
+}
+
+// TailLatency reproduces §7.3's memcached tail study: request latencies
+// are measured with the OS continuously mapping and unmapping pages (the
+// LVM maintenance path) between requests; p99 must be unaffected. The
+// study is entirely bespoke, so the whole result persists as a run-cache
+// artifact.
+func (r *Runner) TailLatency() (TailLatencyResult, error) {
+	res, err := artifactFor(r, "tail", r.measureTail)
+	if err != nil {
 		return TailLatencyResult{}, err
 	}
 
