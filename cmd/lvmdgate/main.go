@@ -1,0 +1,100 @@
+// Command lvmdgate compares a current lvmload report against the
+// committed serving baseline (bench_lvmd.json) and fails on throughput
+// regressions, mirroring cmd/benchgate for the batch pipeline.
+//
+// Wall-clock throughput is host-dependent, so the comparison is
+// tolerance-based: current TPS must stay within -host-factor of the
+// baseline, and above the absolute -min-tps floor the roadmap commits to.
+// The two reports must describe the same experiment (schema version,
+// session count, scheme and workload rosters, translation total — the
+// translation total is deterministic, so it must match exactly).
+//
+// Exit status: 0 pass, 1 regression or mismatch, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// report mirrors cmd/lvmload's JSON document (the fields the gate reads).
+type report struct {
+	SchemaVersion int      `json:"schema_version"`
+	Quick         bool     `json:"quick"`
+	Sessions      int      `json:"sessions"`
+	Schemes       []string `json:"schemes"`
+	Workloads     []string `json:"workloads"`
+	Translations  uint64   `json:"translations"`
+	TPS           float64  `json:"translations_per_sec"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_lvmd.json", "committed baseline report")
+	currentPath := flag.String("current", "", "freshly generated report to gate")
+	minTPS := flag.Float64("min-tps", 1_000_000, "absolute translations/sec floor (0 disables)")
+	hostFactor := flag.Float64("host-factor", 3, "allowed slowdown vs the baseline host (>= 1)")
+	flag.Parse()
+	if *currentPath == "" || *hostFactor < 1 {
+		fmt.Fprintln(os.Stderr, "usage: lvmdgate -baseline bench_lvmd.json -current out.json [-min-tps N] [-host-factor F>=1]")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmdgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lvmdgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	if base.SchemaVersion != cur.SchemaVersion {
+		problems = append(problems, fmt.Sprintf("schema version %d vs baseline %d", cur.SchemaVersion, base.SchemaVersion))
+	}
+	if base.Quick != cur.Quick || base.Sessions != cur.Sessions ||
+		strings.Join(base.Schemes, ",") != strings.Join(cur.Schemes, ",") ||
+		strings.Join(base.Workloads, ",") != strings.Join(cur.Workloads, ",") {
+		problems = append(problems, "experiment shape differs from baseline (quick/sessions/schemes/workloads)")
+	}
+	// Translation totals are fully deterministic — any drift means the
+	// simulation changed, which a throughput gate must not silently absorb.
+	if base.Translations != cur.Translations {
+		problems = append(problems, fmt.Sprintf("translations %d vs baseline %d — refresh the baseline deliberately", cur.Translations, base.Translations))
+	}
+	if floor := base.TPS / *hostFactor; cur.TPS < floor {
+		problems = append(problems, fmt.Sprintf("throughput %.0f/s below baseline %.0f/s ÷ host factor %.1f = %.0f/s", cur.TPS, base.TPS, *hostFactor, floor))
+	}
+	if *minTPS > 0 && cur.TPS < *minTPS {
+		problems = append(problems, fmt.Sprintf("throughput %.0f/s below the absolute floor %.0f/s", cur.TPS, *minTPS))
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "lvmdgate: FAIL: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("lvmdgate: PASS: %.0f translations/sec (baseline %.0f/s, host factor %.1f, floor %.0f/s)\n",
+		cur.TPS, base.TPS, *hostFactor, *minTPS)
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 {
+		return r, fmt.Errorf("%s: missing schema_version", path)
+	}
+	return r, nil
+}

@@ -61,9 +61,22 @@ func (ix *Index) insertWithin(m Mapping) error {
 	pred := int(leaf.predict(m.VPN))
 	// Remap of an already-present key: update in place so the table never
 	// holds two entries for one VPN (a later rebuild could otherwise
-	// resurrect the stale one). The search window is bounded by the
-	// leaf's largest observed displacement.
-	window := leaf.maxDisp/pte.ClusterSlots + ix.params.CErr + 1
+	// resurrect the stale one). This existence check must be sound, so its
+	// window is an access budget covering the leaf's largest observed
+	// displacement in BOTH search directions (the outward search spends two
+	// fetches per cluster of distance), with a floor that keeps Lookup's
+	// directional pruning — a hardware fast-path heuristic that can skip
+	// the matching cluster — disabled for this software-side check. An
+	// unsorted table voids displacement bounds entirely: cover it whole.
+	window := 2*(leaf.maxDisp/pte.ClusterSlots+1) + ix.params.CErr + 1
+	if leaf.table.Unsorted() {
+		if cover := leaf.table.Slots()/pte.ClusterSlots + 1; cover > window {
+			window = cover
+		}
+	}
+	if window < 9 {
+		window = 9
+	}
 	if lr := leaf.table.Lookup(pred, m.VPN, window); lr.Found {
 		leaf.table.Set(lr.Slot, pte.Tagged{Tag: leaf.table.Get(lr.Slot).Tag, Entry: m.Entry})
 		return nil

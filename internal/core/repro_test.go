@@ -9,6 +9,52 @@ import (
 	"lvm/internal/pte"
 )
 
+// TestReproStaleDuplicateOnReinsert pins the stale-duplicate-on-reinsert
+// bug once tracked in ROADMAP's open items (repro seed {0x64, 0x4b, 0xc1,
+// 0x0e, 0xc0, 0x63}): this layout builds a relaxed leaf whose build-time
+// placements are displaced far beyond the insert-time existence-check
+// window, so re-inserting an already-mapped VPN used to place a second
+// entry for the same tag; a later retrain then resurrected the stale PPN.
+// The extras vector is a deterministic instance of the failure found by
+// seeded search over the documented layout.
+func TestReproStaleDuplicateOnReinsert(t *testing.T) {
+	raw := []byte{0x64, 0x4b, 0xc1, 0x0e, 0xc0, 0x63}
+	extra := []uint16{0x341e, 0x9b8e, 0x976, 0xb02, 0xa30c, 0x9672, 0xa558, 0xfe90, 0x8f48, 0xf98d, 0xb55f, 0xff45, 0xbfe3, 0x42b0, 0x2a35, 0xed16, 0xb92b, 0x7e4a, 0x17c5, 0xe1e, 0x11b5, 0xa4d1, 0x3d24, 0x88fe, 0x9a56, 0xa05f, 0x99f0, 0x986c, 0x2fef, 0x166b, 0xdef1, 0x33b6, 0xf61f, 0x6f4a, 0x1299, 0x6052, 0x87ef, 0x85fa, 0x9725, 0x2d1a, 0x8525}
+	ms := genLayout(raw)
+	mem := phys.New(64 << 20)
+	ix, err := Build(mem, ms, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ix.KeyRange()
+	span := uint64(hi - lo)
+	inserted := map[addr.VPN]pte.Entry{}
+	for i, e := range extra {
+		v := lo + addr.VPN(uint64(e)%span)
+		ent := pte.New(addr.PPN(0x100000+i), addr.Page4K)
+		if err := ix.Insert(Mapping{VPN: v, Entry: ent}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		inserted[v] = ent
+	}
+	for v, ent := range inserted {
+		r := ix.Walk(v)
+		if !r.Found || r.Entry != ent {
+			t.Fatalf("inserted VPN %#x: found=%t entry=%#x want=%#x (stale duplicate?)",
+				uint64(v), r.Found, uint64(r.Entry), uint64(ent))
+		}
+	}
+	for _, m := range ms {
+		if _, over := inserted[m.VPN]; over {
+			continue
+		}
+		if r := ix.Walk(m.VPN); !r.Found || r.Entry != m.Entry {
+			t.Fatalf("original VPN %#x lost: found=%t entry=%#x want=%#x",
+				uint64(m.VPN), r.Found, uint64(r.Entry), uint64(m.Entry))
+		}
+	}
+}
+
 func TestReproQuickInsert(t *testing.T) {
 	raw := []byte{0x2e, 0x65, 0xd9, 0x14, 0x9, 0xf5, 0x23, 0x39, 0x1e, 0x20, 0xcd, 0xaa, 0xa8, 0x22, 0x18, 0x41, 0x0, 0x9f, 0x97, 0x10, 0xa, 0x8c, 0xc9, 0x75, 0x31}
 	extra := []uint16{0xafc6, 0xf1ea, 0x588b, 0xaaf5, 0x246e, 0x2ead, 0x965c, 0x5e1, 0xe33b, 0x263b, 0x298a, 0x6f58, 0xc57a, 0x5a60, 0xa7f, 0x57b9, 0x65bd, 0x12d0, 0x1510, 0x323b, 0xbc1c, 0xd724, 0xd201, 0x995f, 0x270, 0xda6e, 0x4fbf, 0xd8e7, 0xe550, 0x5eb3, 0x4830, 0x5f5e, 0x3aa5, 0xe811, 0x636f, 0x597c, 0x2f16, 0xd32f, 0xab9f, 0xfd81, 0x7b10, 0x9d4, 0x2673, 0xd2ae, 0x6272, 0xc832}

@@ -192,10 +192,19 @@ func (r *Runner) runBytes(w *workload.Workload) uint64 {
 // keeping them one function is what makes shard assignment agree between
 // hosts that build a workload and hosts that only estimate it.
 func (r *Runner) costFromFootprint(fp uint64) uint64 {
-	if r.Cfg.PhysBytes != 0 {
-		return r.Cfg.PhysBytes
+	return r.Cfg.RunCostBytes(fp)
+}
+
+// RunCostBytes is the footprint→physical-memory sizing formula for one run:
+// the memory-budget cost a simulation of a workload with footprint fp holds
+// while in flight, and the phys.Memory size it is given. Exported so
+// admission controllers outside the batch runner (the lvmd serving daemon)
+// charge tenants with exactly the formula the sweep scheduler uses.
+func (c Config) RunCostBytes(fp uint64) uint64 {
+	if c.PhysBytes != 0 {
+		return c.PhysBytes
 	}
-	return fp + fp/2 + r.Cfg.PhysSlackBytes
+	return fp + fp/2 + c.PhysSlackBytes
 }
 
 // BuildWorkloads builds the named workloads that are not already cached,
@@ -309,6 +318,26 @@ func launchScaled(mem *phys.Memory, scheme oskernel.Scheme, space *vas.AddressSp
 	return sys, p, nil
 }
 
+// NewRunMachine constructs the complete per-run simulation machine for one
+// (workload, scheme, THP) configuration exactly as the sweep's execute
+// path does: physical memory sized by RunCostBytes over the workload's
+// footprint, the proportionally scaled system, the workload launched at
+// ASID 1, and the configured CPU model (Midgard flagged by scheme). It is
+// the bit-identity seam the lvmd serving daemon builds per-tenant machines
+// through — a served session and a sweep run of the same key simulate on
+// byte-identical state because both come from this one constructor.
+func (c Config) NewRunMachine(w *workload.Workload, scheme oskernel.Scheme, thp bool) (*oskernel.System, *oskernel.Process, *sim.CPU, error) {
+	mem := phys.New(c.RunCostBytes(w.FootprintBytes()))
+	sys := newScaledSystem(mem, scheme)
+	p, err := sys.Launch(1, w.Space, thp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := c.Sim
+	cfg.Midgard = scheme == oskernel.SchemeMidgard
+	return sys, p, sim.New(cfg, sys.Walker()), nil
+}
+
 // Run returns the cached simulation for one configuration, executing it
 // in-line on a miss. Failures anywhere on the build/launch/run path come
 // back as a wrapped error naming the RunKey.
@@ -339,15 +368,12 @@ func (r *Runner) execute(key RunKey) (*RunOutput, error) {
 	}
 	r.sink.RunStart(key)
 	sw := wallclock.Start()
-	sys, p, err := launchScaled(r.physFor(w), key.Scheme, w.Space, key.THP)
+	sys, p, cpu, err := r.Cfg.NewRunMachine(w, key.Scheme, key.THP)
 	if err != nil {
 		err = fmt.Errorf("run %s: launch: %w", key, err)
 		r.sink.RunDone(key, sw.Seconds(), err)
 		return nil, err
 	}
-	cfg := r.Cfg.Sim
-	cfg.Midgard = key.Scheme == oskernel.SchemeMidgard
-	cpu := sim.New(cfg, sys.Walker())
 	var res sim.Result
 	if key.Warmup > 0 {
 		n := cpu.FastForward(1, w, key.Warmup)

@@ -1,0 +1,147 @@
+package sched
+
+import "sync"
+
+// Admission is the exported admission seam: a counting semaphore over
+// bytes, optionally correcting each charge with a CostModel before it is
+// held against the budget. Run uses it for batch execution; long-running
+// servers (lvmd) use it directly to decide how many tenants may be in
+// flight at once. Admission only influences *when* work starts, never its
+// result.
+//
+// All methods are safe for concurrent use.
+type Admission struct {
+	model *CostModel
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// cap is the budget in bytes (0 = unbounded). Immutable after New.
+	cap uint64
+	// inUse is the summed charge of admitted work. guarded by mu.
+	inUse uint64
+	// inFlight counts admitted, unreleased acquisitions. guarded by mu.
+	inFlight int
+	// waiting counts goroutines blocked in Acquire — the admission queue
+	// depth a load generator reports. guarded by mu.
+	waiting int
+}
+
+// AdmissionStats is a point-in-time view of the semaphore.
+type AdmissionStats struct {
+	// CapBytes is the configured budget (0 = unbounded).
+	CapBytes uint64
+	// InUseBytes is the summed charge currently admitted.
+	InUseBytes uint64
+	// InFlight is the number of admitted, unreleased acquisitions.
+	InFlight int
+	// QueueDepth is the number of goroutines blocked waiting for budget.
+	QueueDepth int
+	// FactorPerMille is the cost model's current correction (1000 when no
+	// model is attached).
+	FactorPerMille uint64
+}
+
+// NewAdmission returns an admission semaphore over budgetBytes (0 =
+// unbounded). model, when non-nil, corrects every charge and is fed by
+// Observe; it may be shared with other Admissions or a concurrent Run.
+func NewAdmission(budgetBytes uint64, model *CostModel) *Admission {
+	a := &Admission{cap: budgetBytes, model: model}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Acquire blocks until costBytes (corrected by the model, clamped to the
+// budget so oversized work runs alone rather than deadlocking) fits, then
+// charges it. The returned charge is what Release must be given back —
+// callers hold it verbatim so a moving correction factor can never
+// unbalance the ledger. A non-nil cancel channel aborts the wait when
+// closed: Acquire returns ok=false and nothing is charged.
+func (a *Admission) Acquire(costBytes uint64, cancel <-chan struct{}) (charge uint64, ok bool) {
+	charge = costBytes
+	if a.model != nil {
+		charge = a.model.Corrected(costBytes)
+	}
+	if a.cap == 0 {
+		// Unbounded: nothing is held, so nothing is returned to Release.
+		a.mu.Lock()
+		a.inFlight++
+		a.mu.Unlock()
+		return 0, true
+	}
+	if charge > a.cap {
+		charge = a.cap
+	}
+	// A watcher turns the cancel close into a Broadcast so waiters wake to
+	// re-check; stop terminates it on the normal path and the WaitGroup
+	// bounds its lifetime to this call (defers run in mutex-unlock,
+	// close(stop), Wait order). The lock around the Broadcast orders it
+	// after the waiter's park — a Broadcast between the waiter's cancel
+	// check and its cond.Wait would otherwise be lost.
+	if cancel != nil {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		defer wg.Wait()
+		defer close(stop)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-cancel:
+				a.mu.Lock()
+				a.mu.Unlock() // empty section: orders the broadcast after the waiter parks
+				a.cond.Broadcast()
+			case <-stop:
+			}
+		}()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.waiting++
+	for a.inUse+charge > a.cap {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				a.waiting--
+				return 0, false
+			default:
+			}
+		}
+		a.cond.Wait()
+	}
+	a.waiting--
+	a.inUse += charge
+	a.inFlight++
+	return charge, true
+}
+
+// Release returns a charge obtained from Acquire.
+func (a *Admission) Release(charge uint64) {
+	a.mu.Lock()
+	a.inUse -= charge
+	a.inFlight--
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// Observe feeds a completed work item's host-memory sample to the cost
+// model (no-op without one): estimateBytes is the static estimate the item
+// was admitted with, s the observation around its execution.
+func (a *Admission) Observe(estimateBytes uint64, s MemSample) {
+	if a.model != nil {
+		a.model.Observe(estimateBytes, s)
+	}
+}
+
+// Stats snapshots the semaphore.
+func (a *Admission) Stats() AdmissionStats {
+	st := AdmissionStats{CapBytes: a.cap, FactorPerMille: 1000}
+	if a.model != nil {
+		st.FactorPerMille = a.model.FactorPerMille()
+	}
+	a.mu.Lock()
+	st.InUseBytes = a.inUse
+	st.InFlight = a.inFlight
+	st.QueueDepth = a.waiting
+	a.mu.Unlock()
+	return st
+}

@@ -1,0 +1,204 @@
+// Tests for the exported Admission semaphore: ledger balance under a
+// moving cost model, cancellation of queued acquisitions, oversized-task
+// clamping, the unbounded fast path, and queue-depth reporting — the
+// properties the lvmd serving daemon relies on for tenant admission.
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionLedger verifies Acquire/Release keep inUse and inFlight
+// balanced, and that the returned charge is what was actually held even
+// when the model's correction factor moves between Acquire and Release.
+func TestAdmissionLedger(t *testing.T) {
+	m := NewCostModel()
+	a := NewAdmission(1<<20, m)
+	c1, ok := a.Acquire(1000, nil)
+	if !ok {
+		t.Fatal("uncontended Acquire returned ok=false")
+	}
+	if st := a.Stats(); st.InUseBytes != c1 || st.InFlight != 1 {
+		t.Fatalf("after acquire: %+v, charge %d", st, c1)
+	}
+	// Move the model hard: observations far above estimates push the factor
+	// up, so a fresh Acquire of the same estimate charges more.
+	for i := 0; i < 20; i++ {
+		m.Observe(1000, MemSample{HeapInuseBytes: 4000})
+	}
+	c2, _ := a.Acquire(1000, nil)
+	if c2 <= c1 {
+		t.Errorf("corrected charge %d not above original %d after inflating observations", c2, c1)
+	}
+	a.Release(c1)
+	a.Release(c2)
+	if st := a.Stats(); st.InUseBytes != 0 || st.InFlight != 0 {
+		t.Errorf("ledger unbalanced after releases: %+v", st)
+	}
+}
+
+// TestAdmissionBlocksAndWakes verifies a second acquisition waits for
+// budget and is admitted when the first releases.
+func TestAdmissionBlocksAndWakes(t *testing.T) {
+	a := NewAdmission(100, nil)
+	c1, _ := a.Acquire(80, nil)
+	admitted := make(chan uint64)
+	go func() {
+		c2, ok := a.Acquire(60, nil)
+		if !ok {
+			t.Error("blocked Acquire returned ok=false without cancel")
+		}
+		admitted <- c2
+	}()
+	// The second acquire must be parked, visible as queue depth.
+	waitFor(t, func() bool { return a.Stats().QueueDepth == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("second Acquire admitted past the budget")
+	default:
+	}
+	a.Release(c1)
+	c2 := <-admitted
+	if st := a.Stats(); st.InUseBytes != c2 || st.InFlight != 1 || st.QueueDepth != 0 {
+		t.Errorf("after wake: %+v", st)
+	}
+	a.Release(c2)
+}
+
+// TestAdmissionCancel verifies closing the cancel channel aborts a queued
+// Acquire without charging anything, and that budget freed later goes to
+// waiters that did not cancel.
+func TestAdmissionCancel(t *testing.T) {
+	a := NewAdmission(100, nil)
+	c1, _ := a.Acquire(100, nil)
+
+	cancel := make(chan struct{})
+	aborted := make(chan bool)
+	go func() {
+		_, ok := a.Acquire(50, cancel)
+		aborted <- ok
+	}()
+	waitFor(t, func() bool { return a.Stats().QueueDepth == 1 })
+	close(cancel)
+	if ok := <-aborted; ok {
+		t.Fatal("cancelled Acquire reported ok=true")
+	}
+	if st := a.Stats(); st.QueueDepth != 0 || st.InUseBytes != c1 || st.InFlight != 1 {
+		t.Errorf("after cancel: %+v", st)
+	}
+
+	// A survivor queued behind the cancelled waiter still gets the budget.
+	got := make(chan uint64)
+	go func() {
+		c, ok := a.Acquire(50, make(chan struct{}))
+		if !ok {
+			t.Error("surviving Acquire aborted without its cancel closing")
+		}
+		got <- c
+	}()
+	waitFor(t, func() bool { return a.Stats().QueueDepth == 1 })
+	a.Release(c1)
+	a.Release(<-got)
+	if st := a.Stats(); st.InUseBytes != 0 || st.InFlight != 0 {
+		t.Errorf("ledger unbalanced at end: %+v", st)
+	}
+}
+
+// TestAdmissionCancelBeforeWait verifies an already-closed cancel channel
+// aborts even when the acquire would have to wait, without deadlock.
+func TestAdmissionCancelBeforeWait(t *testing.T) {
+	a := NewAdmission(10, nil)
+	c1, _ := a.Acquire(10, nil)
+	cancel := make(chan struct{})
+	close(cancel)
+	done := make(chan bool)
+	go func() {
+		_, ok := a.Acquire(5, cancel)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("pre-cancelled Acquire reported ok=true")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-cancelled Acquire deadlocked")
+	}
+	a.Release(c1)
+}
+
+// TestAdmissionOversizedClamp verifies work costing more than the whole
+// budget is clamped to it — it runs alone rather than deadlocking.
+func TestAdmissionOversizedClamp(t *testing.T) {
+	a := NewAdmission(100, nil)
+	c, ok := a.Acquire(1<<40, nil)
+	if !ok || c != 100 {
+		t.Fatalf("oversized Acquire: charge %d ok %v, want 100 true", c, ok)
+	}
+	a.Release(c)
+	if st := a.Stats(); st.InUseBytes != 0 {
+		t.Errorf("ledger unbalanced after oversized release: %+v", st)
+	}
+}
+
+// TestAdmissionUnbounded verifies the zero-budget path admits immediately
+// with a zero charge, so Release never underflows.
+func TestAdmissionUnbounded(t *testing.T) {
+	a := NewAdmission(0, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, ok := a.Acquire(1<<40, nil)
+			if !ok || c != 0 {
+				t.Errorf("unbounded Acquire: charge %d ok %v, want 0 true", c, ok)
+			}
+			a.Release(c)
+		}()
+	}
+	wg.Wait()
+	if st := a.Stats(); st.InUseBytes != 0 || st.InFlight != 0 {
+		t.Errorf("unbounded ledger unbalanced: %+v", st)
+	}
+}
+
+// TestAdmissionConcurrentChurn hammers a small budget from many goroutines
+// (run under -race in CI) and checks the ledger drains to zero.
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := NewAdmission(256, NewCostModel())
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, ok := a.Acquire(uint64(16+g), nil)
+				if !ok {
+					t.Error("uncancellable Acquire aborted")
+					return
+				}
+				a.Observe(uint64(16+g), MemSample{HeapInuseBytes: uint64(8 + i)})
+				a.Release(c)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := a.Stats(); st.InUseBytes != 0 || st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Errorf("ledger unbalanced after churn: %+v", st)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline nears.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

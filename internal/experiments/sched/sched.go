@@ -78,48 +78,6 @@ func sampleMem[K any, V any](exec func(K) (V, error), key K) (V, error, MemSampl
 	}
 }
 
-// budget is a counting semaphore over bytes.
-type budget struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	cap   uint64
-	inUse uint64 // guarded by mu
-}
-
-func newBudget(cap uint64) *budget {
-	b := &budget{cap: cap}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *budget) acquire(n uint64) {
-	if b.cap == 0 {
-		return
-	}
-	if n > b.cap {
-		n = b.cap // oversized tasks run alone rather than deadlocking
-	}
-	b.mu.Lock()
-	for b.inUse+n > b.cap {
-		b.cond.Wait()
-	}
-	b.inUse += n
-	b.mu.Unlock()
-}
-
-func (b *budget) release(n uint64) {
-	if b.cap == 0 {
-		return
-	}
-	if n > b.cap {
-		n = b.cap
-	}
-	b.mu.Lock()
-	b.inUse -= n
-	b.mu.Unlock()
-	b.cond.Broadcast()
-}
-
 // Run executes exec once per task and returns the results aligned with the
 // input order: out[i] is the result for tasks[i]. Every task runs to
 // completion even when others fail, so the error value — all failures
@@ -139,7 +97,7 @@ func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([
 		return out, nil
 	}
 
-	bud := newBudget(opt.BudgetBytes)
+	adm := NewAdmission(opt.BudgetBytes, opt.CostModel)
 	next := 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -158,11 +116,7 @@ func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([
 				t := tasks[i]
 				// Charge the (possibly corrected) cost, and release exactly
 				// what was charged even if the model has since moved.
-				charge := t.CostBytes
-				if opt.CostModel != nil {
-					charge = opt.CostModel.Corrected(t.CostBytes)
-				}
-				bud.acquire(charge)
+				charge, _ := adm.Acquire(t.CostBytes, nil)
 				var v V
 				var err error
 				if opt.ObserveMem != nil || opt.CostModel != nil {
@@ -171,13 +125,11 @@ func Run[K any, V any](tasks []Task[K], opt Options, exec func(K) (V, error)) ([
 					if opt.ObserveMem != nil {
 						opt.ObserveMem(i, s)
 					}
-					if opt.CostModel != nil {
-						opt.CostModel.Observe(t.CostBytes, s)
-					}
+					adm.Observe(t.CostBytes, s)
 				} else {
 					v, err = exec(t.Key)
 				}
-				bud.release(charge)
+				adm.Release(charge)
 				// Each goroutine writes only its own slots; the final
 				// wg.Wait orders these writes before any read.
 				out[i] = v

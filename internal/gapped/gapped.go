@@ -192,39 +192,41 @@ func (t *Table) Insert(pred int, tag addr.VPN, e pte.Entry, reach int) (slot int
 		t.used++
 		return p, false, nil
 	}
-	// Predicted slot taken by another key: exponential search outward for
-	// the nearest free slot, preferring the closer side. Displacements
-	// beyond one cluster void the approximate sortedness the binary miss
-	// path relies on; the table flags itself so misses fall back to the
-	// exhaustive search.
-	place := func(i, d int) {
-		t.slots[i] = pte.Tagged{Tag: tag, Entry: e}
-		t.used++
-		if d > pte.ClusterSlots {
-			t.unsorted = true
-		}
-	}
+	// Predicted slot taken by another key: search outward over the full
+	// reach for an existing slot holding this key — overwriting in place is
+	// mandatory, because placing a second entry for the same tag leaves a
+	// stale duplicate that a later walk or retrain can resurrect. Only when
+	// the key is provably absent within reach does the entry go to the
+	// nearest free slot seen along the way (the paper's exponential search,
+	// §4.3.2), preferring the closer side. Displacements beyond one cluster
+	// void the approximate sortedness the binary miss path relies on; the
+	// table flags itself so misses fall back to the exhaustive search.
+	free, freeDist := -1, 0
 	for d := 1; d <= reach; d++ {
 		if p+d < len(t.slots) {
 			if cur := t.slots[p+d]; cur.Valid() && cur.Tag == tag {
 				t.slots[p+d].Entry = e
 				return p + d, true, nil
-			}
-			if !t.slots[p+d].Valid() {
-				place(p+d, d)
-				return p + d, true, nil
+			} else if !cur.Valid() && free < 0 {
+				free, freeDist = p+d, d
 			}
 		}
 		if p-d >= 0 {
 			if cur := t.slots[p-d]; cur.Valid() && cur.Tag == tag {
 				t.slots[p-d].Entry = e
 				return p - d, true, nil
-			}
-			if !t.slots[p-d].Valid() {
-				place(p-d, d)
-				return p - d, true, nil
+			} else if !cur.Valid() && free < 0 {
+				free, freeDist = p-d, d
 			}
 		}
+	}
+	if free >= 0 {
+		t.slots[free] = pte.Tagged{Tag: tag, Entry: e}
+		t.used++
+		if freeDist > pte.ClusterSlots {
+			t.unsorted = true
+		}
+		return free, true, nil
 	}
 	return 0, true, ErrFull
 }

@@ -57,7 +57,8 @@ var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "hotalloc statically seals the zero-allocation translate hot path. " +
 		"From the roots sim.step, CPU.translate, the batch pipeline " +
-		"(CPU.TranslateBatch, CPU.FastForward), and every scheme walker's " +
+		"(CPU.TranslateBatch, CPU.FastForward), the serving drive loop's " +
+		"inner call (Session.Step), and every scheme walker's " +
 		"Walk/WalkInto/WalkBatch/Lookup (resolved through the cross-package " +
 		"call graph, interface dispatch included), it flags every reachable " +
 		"heap-allocating construct: make/new, appends outside the " +
@@ -92,6 +93,13 @@ func runHotAlloc(pass *ProgramPass) {
 		switch n.Fn.Name() {
 		case "step", "translate", "TranslateBatch", "FastForward":
 			if n.Pkg.PkgPath == ModulePath+"/internal/sim" && recv != nil && isCPUType(recv) {
+				roots = append(roots, n)
+			}
+		case "Step":
+			// Session.Step is the serving drive loop's inner call (lvmd runs
+			// every tenant through it), so it inherits the same sealed
+			// zero-allocation bar as the batch pipeline it wraps.
+			if n.Pkg.PkgPath == ModulePath+"/internal/sim" && recv != nil && isSessionType(recv) {
 				roots = append(roots, n)
 			}
 		case "Walk", "WalkInto", "WalkBatch", "Lookup":
@@ -147,6 +155,10 @@ func runHotAlloc(pass *ProgramPass) {
 
 func isCPUType(t types.Type) bool {
 	return isNamedType(t, ModulePath+"/internal/sim", "CPU")
+}
+
+func isSessionType(t types.Type) bool {
+	return isNamedType(t, ModulePath+"/internal/sim", "Session")
 }
 
 // implementsIface reports whether the receiver type (value or pointer)

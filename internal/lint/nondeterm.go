@@ -24,6 +24,10 @@ var simPkgs = map[string]bool{
 	// output the CI regression gate compares across runs: a map range
 	// there would shuffle JSON key order between invocations.
 	ModulePath + "/internal/metrics": true,
+	// internal/lvmd serves simulation results over the wire under a
+	// bit-identity contract (served == standalone, byte for byte); a map
+	// range there could reorder session teardown or frame emission.
+	ModulePath + "/internal/lvmd": true,
 }
 
 // inSimScope also matches internal/experiments and every subpackage by

@@ -1,0 +1,35 @@
+package lvmd_test
+
+import (
+	"testing"
+
+	"lvm/internal/lvmd"
+	"lvm/internal/oskernel"
+)
+
+// BenchmarkServedReplay measures end-to-end served translation throughput
+// for one tenant: daemon-side replay of the gups quick workload over a
+// localhost connection, whole trace as one window. b.N counts sessions;
+// translations/sec is reported as a custom metric.
+func BenchmarkServedReplay(b *testing.B) {
+	cfg := lvmd.Quick()
+	srv, addrStr := startServer(b, cfg)
+	defer srv.Close()
+
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := lvmd.Dial(addrStr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := c.Run(lvmd.OpenRequest{Workload: "gups", Scheme: oskernel.SchemeLVM}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += res.Accesses
+		c.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(accesses)/b.Elapsed().Seconds(), "translations/s")
+}

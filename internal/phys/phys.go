@@ -16,58 +16,88 @@
 package phys
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"lvm/internal/addr"
 )
 
-// freeSet is a deterministic free-block set: a membership map plus a lazy
-// min-heap, so allocation always hands out the lowest-address block.
-// Determinism matters — simulation results must be reproducible run to run,
-// and Go map iteration is randomized.
+// freeSet is a deterministic free-block set for one buddy order: a bitmap
+// over block indices (base PFN >> order) with a lower-bound hint on the
+// lowest set bit, so allocation always hands out the lowest-address block.
+// Determinism matters — simulation results must be reproducible run to run
+// — and the bitmap keeps the per-page launch cost of a tenant machine flat
+// (a map-based set dominated serving profiles with hashing and rehash
+// churn).
 type freeSet struct {
-	m map[uint64]struct{}
-	h pfnHeap
+	words []uint64
+	shift uint   // block index = base PFN >> shift
+	n     int    // set-bit count
+	min   uint64 // lower bound on the lowest set block index
 }
 
-type pfnHeap []uint64
-
-func (h pfnHeap) Len() int           { return len(h) }
-func (h pfnHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h pfnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *pfnHeap) Push(x any)        { *h = append(*h, x.(uint64)) }
-func (h *pfnHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-
-func newFreeSet() *freeSet { return &freeSet{m: make(map[uint64]struct{})} }
+func newFreeSet(order int, totalPages uint64) *freeSet {
+	nblocks := (totalPages + blockPages(order) - 1) >> uint(order)
+	return &freeSet{
+		words: make([]uint64, (nblocks+63)/64),
+		shift: uint(order),
+		min:   ^uint64(0),
+	}
+}
 
 func (f *freeSet) add(b uint64) {
-	if _, ok := f.m[b]; ok {
+	i := b >> f.shift
+	w, bit := i/64, uint(i%64)
+	if f.words[w]&(1<<bit) != 0 {
 		return
 	}
-	f.m[b] = struct{}{}
-	heap.Push(&f.h, b)
+	f.words[w] |= 1 << bit
+	f.n++
+	if i < f.min {
+		f.min = i
+	}
 }
 
-func (f *freeSet) remove(b uint64) { delete(f.m, b) }
+func (f *freeSet) remove(b uint64) {
+	i := b >> f.shift
+	w, bit := i/64, uint(i%64)
+	if f.words[w]&(1<<bit) != 0 {
+		f.words[w] &^= 1 << bit
+		f.n--
+	}
+}
 
 func (f *freeSet) contains(b uint64) bool {
-	_, ok := f.m[b]
-	return ok
+	// Out-of-range probes happen legitimately: Free probes the buddy of the
+	// last block, which can lie past the end of a non-power-of-two memory.
+	i := b >> f.shift
+	if w := i / 64; w < uint64(len(f.words)) {
+		return f.words[w]&(1<<uint(i%64)) != 0
+	}
+	return false
 }
 
-func (f *freeSet) len() int { return len(f.m) }
+func (f *freeSet) len() int { return f.n }
 
-// popMin removes and returns the lowest-address free block.
+// popMin removes and returns the lowest-address free block. min never
+// overshoots the lowest set bit (add lowers it, removals only raise the
+// true minimum), so scanning forward from it is exact.
 func (f *freeSet) popMin() (uint64, bool) {
-	for f.h.Len() > 0 {
-		b := heap.Pop(&f.h).(uint64)
-		if _, ok := f.m[b]; ok {
-			delete(f.m, b)
-			return b, true
+	if f.n == 0 {
+		return 0, false
+	}
+	for w := f.min / 64; w < uint64(len(f.words)); w++ {
+		if f.words[w] == 0 {
+			continue
 		}
+		bit := uint(bits.TrailingZeros64(f.words[w]))
+		i := w*64 + uint64(bit)
+		f.words[w] &^= 1 << bit
+		f.n--
+		f.min = i + 1
+		return i << f.shift, true
 	}
 	return 0, false
 }
@@ -87,8 +117,11 @@ type Memory struct {
 	freePages  uint64
 	// freeLists[o] holds the base PFN of every free block of order o.
 	freeLists [MaxOrder + 1]*freeSet
-	// allocated maps block base PFN -> order, for Free validation.
-	allocated map[uint64]int
+	// allocOrder records, per base PFN, order+1 of the block allocated
+	// there (0 = no live allocation), for Free validation. A dense slice:
+	// one byte per page beats a map by an order of magnitude on the
+	// per-tenant launch path.
+	allocOrder []int8
 	// contiguityCap, when >= 0, caps the order the allocator will hand
 	// out, emulating environments where large contiguity is exhausted
 	// (the ≤256 KB experiment of §7.3).
@@ -107,11 +140,11 @@ func New(totalBytes uint64) *Memory {
 	m := &Memory{
 		totalPages:    pages,
 		freePages:     0,
-		allocated:     make(map[uint64]int),
+		allocOrder:    make([]int8, pages),
 		contiguityCap: -1,
 	}
 	for o := range m.freeLists {
-		m.freeLists[o] = newFreeSet()
+		m.freeLists[o] = newFreeSet(o, pages)
 	}
 	// Seed the free lists greedily with the largest aligned blocks.
 	var pfn uint64
@@ -206,7 +239,7 @@ func (m *Memory) Alloc(order int) (addr.PPN, error) {
 		half := base + blockPages(o-1)
 		m.freeLists[o-1].add(half)
 	}
-	m.allocated[base] = order
+	m.allocOrder[base] = int8(order) + 1
 	m.freePages -= blockPages(order)
 	return addr.PPN(base), nil
 }
@@ -255,7 +288,7 @@ func (m *Memory) AllocExact(base addr.PPN, order int) error {
 				cur += half
 			}
 		}
-		m.allocated[b] = order
+		m.allocOrder[b] = int8(order) + 1
 		m.freePages -= blockPages(order)
 		return nil
 	}
@@ -266,11 +299,11 @@ func (m *Memory) AllocExact(base addr.PPN, order int) error {
 // with free buddies.
 func (m *Memory) Free(base addr.PPN, order int) {
 	b := uint64(base)
-	got, ok := m.allocated[b]
-	if !ok || got != order {
-		panic(fmt.Sprintf("phys: bad free of pfn %#x order %d (allocated order %d, ok=%t)", b, order, got, ok))
+	got := int(m.allocOrder[b]) - 1
+	if got != order {
+		panic(fmt.Sprintf("phys: bad free of pfn %#x order %d (allocated order %d, ok=%t)", b, order, got, got >= 0))
 	}
-	delete(m.allocated, b)
+	m.allocOrder[b] = 0
 	m.freeCalls++
 	m.freePages += blockPages(order)
 	for order < MaxOrder {
@@ -389,7 +422,7 @@ func (m *Memory) Fragment(seed int64, cfg FragmentConfig) {
 			if pfn >= m.totalPages || freed[pfn] {
 				continue
 			}
-			if o, ok := m.allocated[pfn]; ok && o == 0 {
+			if m.allocOrder[pfn] == 1 { // a live order-0 allocation
 				m.Free(addr.PPN(pfn), 0)
 				freed[pfn] = true
 			}

@@ -336,26 +336,21 @@ type runOpts struct {
 }
 
 // run is the single translation loop behind Run, RunFrom, RunTail and
-// RunIntervals. The default path chunks the trace through the three-phase
-// translation pipeline (TranslateBatch); Midgard, per-access hooks, and
-// walkers without the batch seam take the scalar step loop. Both paths
-// produce bit-identical Results.
+// RunIntervals, implemented over the resumable Session: the trace is
+// consumed in Step chunks clamped to interval boundaries so a batch never
+// straddles a cut. Per-access hooks can mutate OS state between accesses
+// (invalidating recorded walk plans), so the hook path keeps its dedicated
+// scalar loop; all paths produce bit-identical Results.
 func (c *CPU) run(asid uint16, w *workload.Workload, o runOpts) Result {
-	res := Result{Workload: w.Name, Scheme: c.walker.Name()}
-	var base metrics.Set
-	if o.start > 0 {
-		base = c.Snapshot()
-	}
-	instrs := w.InstrsPerAccess
-	n := len(w.Accesses)
-	batch := c.batchSize()
-	if c.cfg.Midgard || o.hook != nil || batch <= 1 || c.bw == nil || c.lk == nil {
-		for i := o.start; i < n; i++ {
-			extra := 0.0
-			if o.hook != nil {
-				extra = o.hook(i)
-			}
-			lat := c.step(asid, w.Accesses[i], instrs, extra, &res)
+	if o.hook != nil {
+		res := Result{Workload: w.Name, Scheme: c.walker.Name()}
+		var base metrics.Set
+		if o.start > 0 {
+			base = c.Snapshot()
+		}
+		instrs := w.InstrsPerAccess
+		for i := o.start; i < len(w.Accesses); i++ {
+			lat := c.step(asid, w.Accesses[i], instrs, o.hook(i), &res)
 			if o.lats != nil {
 				o.lats[i-o.start] = lat
 			}
@@ -363,32 +358,26 @@ func (c *CPU) run(asid uint16, w *workload.Workload, o runOpts) Result {
 				o.cut(i + 1)
 			}
 		}
-	} else {
-		for i := o.start; i < n; {
-			end := i + batch
-			if end > n {
-				end = n
+		c.finish(&res, base, o.start > 0)
+		return res
+	}
+	s := c.NewSessionFrom(asid, w, o.start)
+	s.lats = o.lats
+	for !s.Done() {
+		limit := s.Remaining()
+		if o.every > 0 {
+			// Clamp the step to the next interval boundary so a batch never
+			// straddles a cut and window contents cannot shift.
+			if next := (s.pos/o.every+1)*o.every - s.pos; next < limit {
+				limit = next
 			}
-			if o.every > 0 {
-				// Clamp the chunk to the next interval boundary so a batch
-				// never straddles a cut and window contents cannot shift.
-				if next := (i/o.every + 1) * o.every; end > next {
-					end = next
-				}
-			}
-			var lats []float64
-			if o.lats != nil {
-				lats = o.lats[i-o.start : end-o.start]
-			}
-			c.TranslateBatch(asid, w.Window(i, end), instrs, &res, lats)
-			if o.every > 0 && end%o.every == 0 {
-				o.cut(end)
-			}
-			i = end
+		}
+		s.Step(limit)
+		if o.every > 0 && s.pos%o.every == 0 {
+			o.cut(s.pos)
 		}
 	}
-	c.finish(&res, base, o.start > 0)
-	return res
+	return s.Finish()
 }
 
 // prepareBatch runs the pipeline's functional and timing-walk phases over
